@@ -1,0 +1,342 @@
+// Benchmark harness: one benchmark per reproduced figure/table of the paper
+// plus the performance experiments of EXPERIMENTS.md (E10-E14). Regenerate
+// everything with
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers depend on this machine and the in-memory substrates; the
+// shapes (who wins and by what factor) are what EXPERIMENTS.md records.
+package mix_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mix"
+	"mix/internal/compose"
+	"mix/internal/eager"
+	"mix/internal/engine"
+	"mix/internal/qdom"
+	"mix/internal/rewrite"
+	"mix/internal/sqlexec"
+	"mix/internal/sqlgen"
+	"mix/internal/translate"
+	"mix/internal/workload"
+	"mix/internal/wrapper"
+	"mix/internal/xmas"
+	"mix/internal/xmlio"
+	"mix/internal/xquery"
+)
+
+// benchMediator builds a mediator over a generated database with the Q1
+// view registered.
+func benchMediator(b *testing.B, n, ordersPer int, cfg mix.Config) *mix.Mediator {
+	b.Helper()
+	med := mix.NewWith(cfg)
+	med.AddRelationalSource(workload.ScaleDB("db1", n, ordersPer, 42))
+	if err := med.AliasSource("&root1", "&db1.customer"); err != nil {
+		b.Fatal(err)
+	}
+	if err := med.AliasSource("&root2", "&db1.orders"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := med.DefineView("rootv", workload.Q1); err != nil {
+		b.Fatal(err)
+	}
+	return med
+}
+
+// ---- E1/Figure 2: the relational-to-XML wrapper ----
+
+func BenchmarkFig2Wrapper(b *testing.B) {
+	db := workload.ScaleDB("db1", 1000, 5, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc, ok := wrapper.Doc(db, "orders")
+		if !ok || len(doc.Children) != 5000 {
+			b.Fatal("wrapper doc")
+		}
+	}
+}
+
+// ---- E2/Figures 3+6: parsing and translation ----
+
+func BenchmarkFig6Translate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q, err := xquery.Parse(workload.Q1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := translate.Translate(q, "rootv"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E5/Table 1: presorted group-by navigation ----
+
+func BenchmarkTable1GroupByNav(b *testing.B) {
+	med := benchMediator(b, 1000, 5, mix.Config{})
+	view, _ := med.View("rootv")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := engine.Compile(view.ExecPlan, med.Catalog())
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc := qdom.NewDocument(prog.Run(), nil)
+		// Walk the first 10 groups, reading each group's key element.
+		n := doc.Root().Down()
+		for g := 0; g < 10 && n != nil; g++ {
+			n.Down()
+			n = n.Right()
+		}
+	}
+}
+
+// ---- E8/Figures 13-21: the rewriting optimizer ----
+
+func BenchmarkFig13Rewrite(b *testing.B) {
+	view := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	q := xquery.MustParse(workload.Fig12)
+	naive, err := compose.NaiveCompose(&compose.OriginPlan{Plan: view.Plan, Tags: view.Tags}, q, "rootv", "res")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rewrite.Optimize(naive.Plan, rewrite.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E9/Figure 22: SQL generation ----
+
+func BenchmarkFig22SQLGen(b *testing.B) {
+	view := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	q := xquery.MustParse(workload.Fig12)
+	naive, _ := compose.NaiveCompose(&compose.OriginPlan{Plan: view.Plan, Tags: view.Tags}, q, "rootv", "res")
+	opt, _, err := rewrite.Optimize(naive.Plan, rewrite.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, _ := workload.PaperCatalog()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlgen.Push(opt, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E10: lazy vs eager ----
+
+func BenchmarkLazyVsEager(b *testing.B) {
+	const n, ordersPer = 1000, 5
+	for _, k := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("lazy/browse%d", k), func(b *testing.B) {
+			med := benchMediator(b, n, ordersPer, mix.Config{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				doc, err := med.Open("rootv")
+				if err != nil {
+					b.Fatal(err)
+				}
+				node := doc.Root().Down()
+				for v := 0; v < k && node != nil; v++ {
+					node.Down()
+					node = node.Right()
+				}
+			}
+		})
+	}
+	b.Run("eager/full", func(b *testing.B) {
+		med := benchMediator(b, n, ordersPer, mix.Config{})
+		view, _ := med.View("rootv")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eager.Eval(view.ExecPlan, med.Catalog()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- E11: composition, naive vs optimized ----
+
+func BenchmarkCompositionNaiveVsOptimized(b *testing.B) {
+	const query = `
+FOR $R IN document(rootv)/CustRec
+    $S IN $R/OrderInfo
+WHERE $S/orders/value > 90000
+RETURN $R`
+	run := func(b *testing.B, cfg mix.Config) {
+		med := benchMediator(b, 500, 4, cfg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			doc, err := med.Query(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			doc.Materialize()
+			if err := doc.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("naive", func(b *testing.B) {
+		run(b, mix.Config{DisableRewrite: true, DisablePushdown: true})
+	})
+	b.Run("optimized", func(b *testing.B) { run(b, mix.Config{}) })
+}
+
+// ---- E12: decontextualize vs materialize-subtree ----
+
+func BenchmarkDecontextVsMaterialize(b *testing.B) {
+	const inPlace = `
+FOR $O IN document(root)/OrderInfo
+WHERE $O/orders/value < 50000
+RETURN $O`
+	prep := func(b *testing.B) (*mix.Mediator, *mix.Node) {
+		med := benchMediator(b, 200, 25, mix.Config{})
+		doc, err := med.Open("rootv")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return med, doc.Root().Down()
+	}
+	b.Run("decontextualize", func(b *testing.B) {
+		med, node := prep(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			doc, err := med.QueryFrom(node, inPlace)
+			if err != nil {
+				b.Fatal(err)
+			}
+			doc.Materialize()
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		med, node := prep(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			doc, err := med.QueryFromMaterialized(node, inPlace)
+			if err != nil {
+				b.Fatal(err)
+			}
+			doc.Materialize()
+		}
+	})
+}
+
+// ---- E13: stateless vs stateful group-by ----
+
+func BenchmarkGroupByStatelessVsStateful(b *testing.B) {
+	med := benchMediator(b, 1000, 5, mix.Config{})
+	view, _ := med.View("rootv")
+	presorted := view.ExecPlan
+	stateful := xmas.Clone(presorted)
+	xmas.Walk(stateful, func(op xmas.Op) bool {
+		if gb, ok := op.(*xmas.GroupBy); ok {
+			gb.Presorted = false
+		}
+		return true
+	})
+	firstGroup := func(b *testing.B, plan xmas.Op) {
+		for i := 0; i < b.N; i++ {
+			prog, err := engine.Compile(plan, med.Catalog())
+			if err != nil {
+				b.Fatal(err)
+			}
+			doc := qdom.NewDocument(prog.Run(), nil)
+			if doc.Root().Down() == nil {
+				b.Fatal("no first group")
+			}
+		}
+	}
+	b.Run("presorted/firstGroup", func(b *testing.B) { firstGroup(b, presorted) })
+	b.Run("stateful/firstGroup", func(b *testing.B) { firstGroup(b, stateful) })
+}
+
+// ---- E14: optimizer ablation ----
+
+func BenchmarkPushdownAblation(b *testing.B) {
+	const query = `
+FOR $R IN document(rootv)/CustRec
+    $S IN $R/OrderInfo
+WHERE $S/orders/value > 90000
+RETURN $R`
+	variants := []struct {
+		name string
+		cfg  mix.Config
+	}{
+		{"full", mix.Config{}},
+		{"noSemijoinPush", mix.Config{RewriteOptions: rewrite.Options{NoSemijoinPush: true}}},
+		{"noSQLPushdown", mix.Config{DisablePushdown: true}},
+		{"noRewrite", mix.Config{DisableRewrite: true, DisablePushdown: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			med := benchMediator(b, 300, 4, v.cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				doc, err := med.Query(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				doc.Materialize()
+			}
+		})
+	}
+}
+
+// ---- substrate microbenchmarks ----
+
+func BenchmarkXMLParse(b *testing.B) {
+	src := mix.SerializeXML(workload.PaperXMLDoc("customer"))
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xmlio.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLExecJoin(b *testing.B) {
+	db := workload.ScaleDB("db1", 1000, 5, 42)
+	const sql = `SELECT c.id, o.orid, o.value FROM customer c, orders o WHERE c.id = o.cid AND o.value > 90000 ORDER BY c.id`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, _, err := sqlexec.ExecSQL(db, sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := cur.Next(); !ok {
+				break
+			}
+		}
+		cur.Close()
+	}
+}
+
+func BenchmarkQDOMNavigationThroughput(b *testing.B) {
+	med := benchMediator(b, 500, 5, mix.Config{})
+	doc, err := med.Open("rootv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc.Materialize() // force once; measure pure navigation after
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		for n := doc.Root().Down(); n != nil; n = n.Right() {
+			count++
+		}
+		if count != 500 {
+			b.Fatalf("walked %d", count)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Command mixnav is an interactive QDOM session — a tiny text-mode BBQ
+// (the paper's front-end): navigate the virtual view with the d/r/u
+// commands of Section 2 and issue in-place queries with q, watching how
+// little the sources ship.
+//
+//	$ mixnav
+//	[&rootv list] (0 shipped)> d
+//	[&($V2,g(&C000000)) CustRec] (4 shipped)> q FOR $O IN document(root)/OrderInfo WHERE $O/orders/value < 500 RETURN $O
+//
+// Commands: d (down), r (right), u (up), l (label), v (value), id,
+// p (print subtree — materializes it!), q <query> (in-place query; the
+// session moves to the new result's root), stats, help, quit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mix"
+	"mix/internal/repl"
+	"mix/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 200, "generated customers")
+	flag.Parse()
+
+	med := mix.New()
+	med.AddRelationalSource(workload.ScaleDB("db1", *n, 5, 42))
+	fail(med.AliasSource("&root1", "&db1.customer"))
+	fail(med.AliasSource("&root2", "&db1.orders"))
+	_, err := med.DefineView("rootv", workload.Q1)
+	fail(err)
+
+	fmt.Printf("MIX interactive navigation over the CustRec view (%d customers).\n", *n)
+	fmt.Println("Commands: d r u l v id p q <query> stats help quit")
+
+	session, err := repl.New(med, "rootv")
+	fail(err)
+	fail(session.Run(os.Stdin, os.Stdout))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixnav:", err)
+		os.Exit(1)
+	}
+}

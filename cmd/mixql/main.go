@@ -1,0 +1,120 @@
+// Command mixql runs one XQuery-subset query against a demo mediator and
+// prints the (materialized) result.
+//
+//	mixql 'FOR $C IN document(&root1)/customer RETURN $C'
+//	mixql -data auction -xml 'FOR $K IN document(&auction.camera)/camera WHERE $K/price < 300 RETURN $K'
+//	echo 'FOR $R IN document(rootv)/CustRec RETURN $R' | mixql -view
+//
+// Data sets: paper (the Figure 2 customers/orders database, default),
+// scale (a generated 1000-customer database), auction (the introduction's
+// photo-equipment scenario). With -view, the Q1 view of the paper is
+// registered as rootv and queries may range over document(rootv).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mix"
+	"mix/internal/workload"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "paper", "data set: paper|scale|auction")
+		useView = flag.Bool("view", false, "register the paper's Q1 view as rootv")
+		asXML   = flag.Bool("xml", false, "print the result as XML instead of a tree")
+		stats   = flag.Bool("stats", false, "print source transfer statistics")
+		metrics = flag.Bool("metrics", false, "print per-operator mediator work")
+		plan    = flag.Bool("plan", false, "print the plans instead of running the query")
+		trace   = flag.Bool("trace", false, "print every rewrite step (the paper's Figures 14-21, live)")
+	)
+	flag.Parse()
+
+	med := mix.New()
+	switch *data {
+	case "paper":
+		med.AddRelationalSource(workload.PaperDB())
+		fail(med.AliasSource("&root1", "&db1.customer"))
+		fail(med.AliasSource("&root2", "&db1.orders"))
+	case "scale":
+		med.AddRelationalSource(workload.ScaleDB("db1", 1000, 5, 42))
+		fail(med.AliasSource("&root1", "&db1.customer"))
+		fail(med.AliasSource("&root2", "&db1.orders"))
+	case "auction":
+		med.AddRelationalSource(workload.AuctionDB(200, 10, 7))
+	default:
+		fail(fmt.Errorf("unknown data set %q", *data))
+	}
+	if *useView {
+		_, err := med.DefineView("rootv", workload.Q1)
+		fail(err)
+	}
+
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		input, err := io.ReadAll(os.Stdin)
+		fail(err)
+		query = string(input)
+	}
+	if strings.TrimSpace(query) == "" {
+		fail(fmt.Errorf("no query given (argument or stdin)"))
+	}
+
+	if *trace {
+		steps, executable, err := med.ExplainTrace(query)
+		fail(err)
+		for _, s := range steps {
+			fmt.Printf("-- %s --\n%s\n", s.Rule, s.Plan)
+		}
+		fmt.Println("-- final executable plan --")
+		fmt.Println(executable)
+		return
+	}
+	if *plan {
+		optimized, executable, err := med.Explain(query)
+		fail(err)
+		fmt.Println("-- optimized plan --")
+		fmt.Println(optimized)
+		fmt.Println("-- executable plan --")
+		fmt.Println(executable)
+		return
+	}
+
+	var (
+		doc *mix.Document
+		m   *mix.Metrics
+		err error
+	)
+	if *metrics {
+		doc, m, err = med.QueryWithMetrics(query)
+	} else {
+		doc, err = med.Query(query)
+	}
+	fail(err)
+	tree := doc.Materialize()
+	fail(doc.Err())
+	if *asXML {
+		fmt.Println(mix.SerializeXML(tree))
+	} else {
+		fmt.Print(tree.Pretty())
+	}
+	if *stats {
+		s := med.Stats()
+		fmt.Fprintf(os.Stderr, "-- %d queries to sources, %d tuples shipped\n",
+			s.QueriesReceived, s.TuplesShipped)
+	}
+	if *metrics {
+		fmt.Fprintf(os.Stderr, "-- mediator work: %s\n", m)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixql:", err)
+		os.Exit(1)
+	}
+}

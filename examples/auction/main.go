@@ -1,0 +1,106 @@
+// auction reproduces the information-discovery session of the paper's
+// introduction: an electronic customer of the photo-equipment section of an
+// auction site queries for cheap cameras, browses a few results, refines the
+// query with attributes discovered while browsing (autofocus speed,
+// magazine rating), navigates into one camera's matching lenses, and issues
+// a query against that list — all without the sources ever materializing
+// the full catalog.
+package main
+
+import (
+	"fmt"
+
+	"mix"
+	"mix/internal/workload"
+)
+
+func main() {
+	med := mix.New()
+	med.AddRelationalSource(workload.AuctionDB(500, 12, 7))
+
+	// A view pairing each camera with its matching lenses.
+	if _, err := med.DefineView("catalog", `
+FOR $K IN document(&auction.camera)/camera
+    $L IN document(&auction.lens)/lens
+WHERE $K/cid/data() = $L/camid/data()
+RETURN
+  <Listing>
+    $K
+    <MatchingLens> $L </MatchingLens> {$L}
+  </Listing> {$K}`); err != nil {
+		panic(err)
+	}
+
+	// "He first issues a query for cameras that cost less than $300."
+	doc, err := med.Query(`
+FOR $R IN document(catalog)/Listing
+    $K IN $R/camera
+WHERE $K/price < 300
+RETURN $R`)
+	must(err)
+
+	// "He browses the first few result objects..."
+	fmt.Println("first three listings under $300:")
+	n := doc.Root().Down()
+	for i := 0; i < 3 && n != nil; i++ {
+		cam := n.Down().Materialize()
+		fmt.Printf("  %s  $%s  af=%ss  rating=%s\n",
+			text(cam, "model"), text(cam, "price"), text(cam, "afspeed"), text(cam, "rating"))
+		n = n.Right()
+	}
+	fmt.Printf("(shipped so far: %d tuples)\n\n", med.Stats().TuplesShipped)
+
+	// "...and realizes his query is too general. He refines the current
+	// query by requiring autofocus < 0.4s and rating at least medium."
+	refined, err := med.QueryFrom(doc.Root(), `
+FOR $R IN document(root)/Listing
+    $K IN $R/camera
+WHERE $K/afspeed < 0.4 AND $K/rating >= "medium"
+RETURN $R`)
+	must(err)
+	first := refined.Root().Down()
+	if first == nil {
+		fmt.Println("no camera matches the refinement")
+		return
+	}
+	cam := first.Down().Materialize()
+	fmt.Printf("refined pick: %s ($%s, af=%ss, %s)\n\n",
+		text(cam, "model"), text(cam, "price"), text(cam, "afspeed"), text(cam, "rating"))
+
+	// "He browses into the page for a specific camera ... and then issues a
+	// query against the list of lenses for it: under $200, diameter over
+	// 10mm, owner in Southern California."
+	lenses, err := med.QueryFrom(first, `
+FOR $M IN document(root)/MatchingLens
+    $L IN $M/lens
+WHERE $L/price < 200 AND $L/diameter > 10 AND $L/owner_region = "SoCal"
+RETURN $M`)
+	must(err)
+	fmt.Println("matching lenses:")
+	count := 0
+	for m := lenses.Root().Down(); m != nil; m = m.Right() {
+		l := m.Materialize()
+		fmt.Printf("  lens %s  $%s  %smm\n", text(l, "lid"), text(l, "price"), text(l, "diameter"))
+		count++
+	}
+	if count == 0 {
+		fmt.Println("  (none)")
+	}
+	s := med.Stats()
+	fmt.Printf("\nsession total: %d source queries, %d tuples shipped\n",
+		s.QueriesReceived, s.TuplesShipped)
+}
+
+func text(t *mix.Tree, label string) string {
+	n := t.Find(label)
+	if n == nil || len(n.Children) == 0 {
+		return "?"
+	}
+	return n.Children[0].Label
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

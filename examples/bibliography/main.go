@@ -1,0 +1,94 @@
+// bibliography runs MIX over a pure XML file source (no relational DB at
+// all): a small publication catalog is parsed, queried with nested
+// FOR-WHERE-RETURN blocks, wildcard steps and path predicates, and then
+// explored with in-place queries — everything the mediator offers works
+// uniformly over file sources, just without SQL pushdown (the paper:
+// "the opportunities for efficient QDOM evaluation are limited" there).
+package main
+
+import (
+	"fmt"
+
+	"mix"
+)
+
+const bibXML = `
+<bib>
+  <book><title>Data on the Web</title><year>1999</year>
+    <author>Abiteboul</author><author>Buneman</author><author>Suciu</author>
+    <price>55</price>
+  </book>
+  <book><title>Foundations of Databases</title><year>1995</year>
+    <author>Abiteboul</author><author>Hull</author><author>Vianu</author>
+    <price>80</price>
+  </book>
+  <book><title>Principles of Transaction Processing</title><year>1997</year>
+    <author>Bernstein</author><author>Newcomer</author>
+    <price>45</price>
+  </book>
+  <article><title>Mixing Querying and Navigation in MIX</title><year>2002</year>
+    <author>Mukhopadhyay</author><author>Papakonstantinou</author>
+  </article>
+</bib>`
+
+func main() {
+	med := mix.New()
+	must(med.AddXMLSource("&bib", bibXML))
+
+	// A nested query groups each recent publication with its authors.
+	doc, err := med.Query(`
+FOR $B IN document(&bib)/book
+WHERE $B/year >= 1997
+RETURN
+  <Pub>
+    $B
+    FOR $A IN $B/author
+    RETURN <Writer> $A </Writer>
+  </Pub> {$B}`)
+	must(err)
+	fmt.Println("books from 1997 on, with their writers:")
+	for p := doc.Root().Down(); p != nil; p = p.Right() {
+		t := p.Materialize()
+		fmt.Printf("  %s (%s): %d writers\n",
+			text(t, "title"), text(t, "year"), len(t.FindAll("Writer")))
+	}
+
+	// Wildcards and path predicates work over file sources too.
+	cheap, err := med.Query(`
+FOR $T IN document(&bib)/book[price < 60]/title
+RETURN $T`)
+	must(err)
+	fmt.Println("\nbooks under $60:")
+	for n := cheap.Root().Down(); n != nil; n = n.Right() {
+		fmt.Printf("  %s\n", n.Materialize().Children[0].Label)
+	}
+
+	// An in-place query from a result node: this book's authors whose name
+	// sorts after "B".
+	first := doc.Root().Down()
+	writers, err := med.QueryFrom(first, `
+FOR $W IN document(root)/Writer
+    $A IN $W/author
+WHERE $A >= "B"
+RETURN $A`)
+	must(err)
+	firstTitle := text(first.Materialize(), "title")
+	fmt.Printf("\nwriters of %q from B on:\n", firstTitle)
+	for n := writers.Root().Down(); n != nil; n = n.Right() {
+		fmt.Printf("  %s\n", n.Materialize().Children[0].Label)
+	}
+}
+
+func text(t *mix.Tree, label string) string {
+	n := t.Find(label)
+	if n == nil || len(n.Children) == 0 {
+		return "?"
+	}
+	return n.Children[0].Label
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

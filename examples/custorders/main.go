@@ -1,0 +1,74 @@
+// custorders replays the paper's Example 2.1 end to end: open the CustRec
+// view, navigate, refine with an in-place query from the root (Q2), navigate
+// into a customer, and issue a contextualized query from that node (Q3) —
+// watching how much each step ships from the sources.
+package main
+
+import (
+	"fmt"
+
+	"mix"
+	"mix/internal/workload"
+)
+
+func main() {
+	med := mix.New()
+	med.AddRelationalSource(workload.PaperDB())
+	must(med.AliasSource("&root1", "&db1.customer"))
+	must(med.AliasSource("&root2", "&db1.orders"))
+	if _, err := med.DefineView("rootv", workload.Q1); err != nil {
+		panic(err)
+	}
+
+	report := func(step string) {
+		s := med.Stats()
+		fmt.Printf("%-46s | shipped so far: %d\n", step, s.TuplesShipped)
+	}
+
+	// The client initially has access only to the root p0 of the view.
+	doc, err := med.Open("rootv")
+	must(err)
+	p0 := doc.Root()
+	report("open view (nothing evaluated)")
+
+	// p1 = d(p0); p2 = r(p1); p3 = d(p1)
+	p1 := p0.Down()
+	report(fmt.Sprintf("d(p0) -> first %s", p1.Label()))
+	p2 := p1.Right()
+	report(fmt.Sprintf("r(p1) -> second %s", p2.Label()))
+	p3 := p1.Down()
+	report(fmt.Sprintf("d(p1) -> %s element", p3.Label()))
+
+	// p4 = q(Q2, p0): refine from the root — the result is too large, keep
+	// only customers whose name sorts below "E".
+	doc2, err := med.QueryFrom(p0, `
+FOR $P IN document(root)/CustRec
+WHERE $P/customer/name < "E"
+RETURN $P`)
+	must(err)
+	p4 := doc2.Root()
+	p5 := p4.Down()
+	report(fmt.Sprintf("q(Q2, p0) then d -> %s", p5.Label()))
+
+	// Navigate into the customer and its orders.
+	p6 := p5.Down()
+	p7 := p6.Right()
+	report(fmt.Sprintf("d,r inside CustRec -> %s", p7.Label()))
+
+	// q(Q3, p5): too many orders for this customer — ask only for the
+	// cheap ones, contextualized by this specific CustRec.
+	doc3, err := med.QueryFrom(p5, `
+FOR $O IN document(root)/OrderInfo
+WHERE $O/orders/value < 50000
+RETURN $O`)
+	must(err)
+	fmt.Println("\nq(Q3, p5) result:")
+	fmt.Print(doc3.Materialize().Pretty())
+	report("after materializing the Q3 answer")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

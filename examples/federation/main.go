@@ -1,0 +1,80 @@
+// federation integrates three kinds of sources in one mediator — a
+// relational database, a parsed XML file, and ANOTHER MIX mediator (the
+// paper notes a MIX mediator can serve as a source to another MIX
+// mediator) — and runs one query spanning them.
+package main
+
+import (
+	"fmt"
+
+	"mix"
+	"mix/internal/workload"
+)
+
+const suppliersXML = `
+<list>
+  <supplier><sid>S1</sid><region>NewYork</region><rating>gold</rating></supplier>
+  <supplier><sid>S2</sid><region>LosAngeles</region><rating>silver</rating></supplier>
+  <supplier><sid>S3</sid><region>NewYork</region><rating>bronze</rating></supplier>
+</list>`
+
+func main() {
+	// Lower mediator: exports the customers/orders view over a relational
+	// source (as in the paper's running example).
+	lower := mix.New()
+	lower.AddRelationalSource(workload.PaperDB())
+	must(lower.AliasSource("&root1", "&db1.customer"))
+	must(lower.AliasSource("&root2", "&db1.orders"))
+	if _, err := lower.DefineView("rootv", workload.Q1); err != nil {
+		panic(err)
+	}
+	lowerDoc, err := lower.Open("rootv")
+	must(err)
+
+	// Upper mediator: an XML file source plus the lower mediator's virtual
+	// view as a navigable source.
+	upper := mix.New()
+	must(upper.AddXMLSource("&suppliers", suppliersXML))
+	upper.AddMediatorSource("&custrecs", lowerDoc)
+
+	// One query spanning the federation: pair every customer record with
+	// the suppliers in its city.
+	doc, err := upper.Query(`
+FOR $R IN document(&custrecs)/CustRec
+    $S IN document(&suppliers)/supplier
+WHERE $R/customer/addr = $S/region
+RETURN
+  <Match>
+    $R
+    $S
+  </Match> {$R, $S}`)
+	must(err)
+
+	fmt.Println("customers paired with suppliers in their city:")
+	for m := doc.Root().Down(); m != nil; m = m.Right() {
+		t := m.Materialize()
+		fmt.Printf("  %s  --  supplier %s (%s, %s)\n",
+			text(t, "name"), text(t, "sid"), text(t, "region"), text(t, "rating"))
+	}
+	must(doc.Err())
+
+	// The lower mediator's relational source was only asked for what the
+	// upper query's navigation demanded.
+	s := lower.Stats()
+	fmt.Printf("\nlower mediator's source: %d queries, %d tuples shipped\n",
+		s.QueriesReceived, s.TuplesShipped)
+}
+
+func text(t *mix.Tree, label string) string {
+	n := t.Find(label)
+	if n == nil || len(n.Children) == 0 {
+		return "?"
+	}
+	return n.Children[0].Label
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

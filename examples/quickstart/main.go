@@ -1,0 +1,79 @@
+// Quickstart: build a relational source, define a virtual XML view over it,
+// query it, and navigate the (lazy) result.
+package main
+
+import (
+	"fmt"
+
+	"mix"
+)
+
+func main() {
+	// 1. A relational source: two tables, keys declared so the wrapper can
+	// derive object ids (paper Figure 2).
+	db := mix.NewDB("shop")
+	db.MustCreate(mix.Schema{
+		Relation: "customer",
+		Columns: []mix.Column{
+			{Name: "id", Type: mix.TString},
+			{Name: "name", Type: mix.TString},
+			{Name: "addr", Type: mix.TString},
+		},
+		Key: []int{0},
+	})
+	db.MustCreate(mix.Schema{
+		Relation: "orders",
+		Columns: []mix.Column{
+			{Name: "orid", Type: mix.TString},
+			{Name: "cid", Type: mix.TString},
+			{Name: "value", Type: mix.TInt},
+		},
+		Key: []int{0},
+	})
+	db.MustInsert("customer", mix.Str("XYZ123"), mix.Str("XYZ Inc."), mix.Str("Los Angeles"))
+	db.MustInsert("customer", mix.Str("DEF345"), mix.Str("DEF Corp."), mix.Str("New York"))
+	db.MustInsert("orders", mix.Str("28904"), mix.Str("XYZ123"), mix.Int(2400))
+	db.MustInsert("orders", mix.Str("87456"), mix.Str("DEF345"), mix.Int(200000))
+
+	// 2. A mediator integrating the source. Every relation is now a
+	// virtual XML document: &shop.customer, &shop.orders.
+	med := mix.New()
+	med.AddRelationalSource(db)
+
+	// 3. A virtual view: one CustRec per customer with the matching
+	// orders nested inside (the paper's Figure 3).
+	_, err := med.DefineView("rootv", `
+FOR $C IN document(&shop.customer)/customer
+    $O IN document(&shop.orders)/orders
+WHERE $C/id/data() = $O/cid/data()
+RETURN
+  <CustRec>
+    $C
+    <OrderInfo> $O </OrderInfo> {$O}
+  </CustRec> {$C}`)
+	if err != nil {
+		panic(err)
+	}
+
+	// 4. Query the view. The mediator composes the query with the view
+	// definition, optimizes, and pushes one SQL query to the source —
+	// nothing is materialized yet.
+	doc, err := med.Query(`
+FOR $R IN document(rootv)/CustRec
+    $S IN $R/OrderInfo
+WHERE $S/orders/value > 100000
+RETURN $R`)
+	if err != nil {
+		panic(err)
+	}
+
+	// 5. Navigate: data flows from the source only as we walk.
+	fmt.Println("customers with an order above 100000:")
+	for n := doc.Root().Down(); n != nil; n = n.Right() {
+		name := n.Materialize().Find("name")
+		fmt.Printf("  %s (%s)\n", name.Children[0].Label, n.ID())
+	}
+	s := med.Stats()
+	fmt.Printf("sources saw %d queries and shipped %d tuples\n",
+		s.QueriesReceived, s.TuplesShipped)
+}

@@ -1,0 +1,282 @@
+package compose_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mix/internal/compose"
+	"mix/internal/engine"
+	"mix/internal/qdom"
+	"mix/internal/translate"
+	"mix/internal/workload"
+	"mix/internal/xmas"
+	"mix/internal/xquery"
+)
+
+func viewOrigin(t *testing.T) *compose.OriginPlan {
+	t.Helper()
+	tr := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	return &compose.OriginPlan{Plan: tr.Plan, Tags: tr.Tags}
+}
+
+// custRecNode navigates the running view to the XYZ123 CustRec node and
+// returns its decoded context.
+func custRecContext(t *testing.T) qdom.Context {
+	t.Helper()
+	cat, _ := workload.PaperCatalog()
+	origin := viewOrigin(t)
+	prog, err := engine.Compile(origin.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := qdom.NewDocument(prog.Run(), &qdom.Origin{Plan: origin.Plan, Tags: origin.Tags})
+	rec := doc.Root().Down().Right() // XYZ123 (key order puts DEF345 first)
+	ctx, ok := rec.Context()
+	if !ok {
+		t.Fatal("CustRec node has no context")
+	}
+	return ctx
+}
+
+// TestFigure10Decontextualize reproduces the mechanism of paper Figures
+// 8-10: the in-place query q1, issued from a CustRec node, composes into a
+// standalone plan that (a) strips the view's tD, (b) pins the group-by
+// variable with an id selection, and (c) redirects the root reference to the
+// provenance variable with its tag prefixed.
+func TestFigure10Decontextualize(t *testing.T) {
+	ctx := custRecContext(t)
+	if ctx.Var != "$V2" {
+		t.Fatalf("provenance variable = %s, want $V2 (the CustRec crElt output)", ctx.Var)
+	}
+	if len(ctx.Fixed) != 1 || ctx.Fixed[0].Var != "$C" || ctx.Fixed[0].ID != "&XYZ123" {
+		t.Fatalf("fixations = %+v", ctx.Fixed)
+	}
+
+	q1 := xquery.MustParse(`
+FOR $O IN document(root)/OrderInfo
+WHERE $O/orders/value > 2000
+RETURN $O`)
+	res, err := compose.Decontextualize(viewOrigin(t), ctx, q1, "root", "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := xmas.Format(res.Plan)
+	for _, want := range []string{
+		"select($C = &XYZ123)",                // the navigation fixation
+		"getD($V2.CustRec.OrderInfo -> $doc)", // root redirected to $V2 with tag prefix
+		"getD($doc.OrderInfo -> $O)",          // the root-children temp stays bound
+		"crElt(CustRec",                       // view body spliced in
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("composed plan missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "mkSrc(root") {
+		t.Errorf("root reference survived composition:\n%s", got)
+	}
+	if err := xmas.Validate(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+
+	// Execute: only XYZ123's order above 2000 (order 28904, value 2400).
+	cat, _ := workload.PaperCatalog()
+	prog, err := engine.Compile(res.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Run().Materialize()
+	if len(m.Children) != 1 {
+		t.Fatalf("result children = %d, want 1:\n%s", len(m.Children), m.Pretty())
+	}
+	if orid := m.Children[0].Find("orid"); orid == nil || orid.Children[0].Label != "28904" {
+		t.Fatalf("wrong order: %s", m.Children[0])
+	}
+}
+
+// TestComposeFromRoot: composition from the result root (the paper's Q2 at
+// p0) needs no fixations and no tag prefix.
+func TestComposeFromRoot(t *testing.T) {
+	q := xquery.MustParse(`
+FOR $P IN document(root)/CustRec
+WHERE $P/customer/name < "E"
+RETURN $P`)
+	res, err := compose.Decontextualize(viewOrigin(t), qdom.Context{FromRoot: true}, q, "root", "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := xmas.Format(res.Plan)
+	if !strings.Contains(got, "getD($V2.CustRec -> $doc)") {
+		t.Errorf("root composition should bind from the tD variable:\n%s", got)
+	}
+	if strings.Contains(got, "select($C =") {
+		t.Errorf("root composition must not pin variables:\n%s", got)
+	}
+	cat, _ := workload.PaperCatalog()
+	prog, err := engine.Compile(res.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Run().Materialize()
+	if len(m.Children) != 1 {
+		t.Fatalf("Q2-style refinement children = %d, want 1", len(m.Children))
+	}
+}
+
+// TestComposeViewName: composition against a view referenced by name
+// (document(rootv)) is the same mechanism.
+func TestComposeViewName(t *testing.T) {
+	q := xquery.MustParse(workload.Fig12)
+	res, err := compose.Decontextualize(viewOrigin(t), qdom.Context{FromRoot: true}, q, "rootv", "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xmas.Validate(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTagsMergedForChaining: the composed result's tags cover both query
+// and view variables, so a query on the composed result composes again.
+func TestTagsMergedForChaining(t *testing.T) {
+	ctx := custRecContext(t)
+	q := xquery.MustParse(`FOR $O IN document(root)/OrderInfo RETURN $O`)
+	res, err := compose.Decontextualize(viewOrigin(t), ctx, q, "root", "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tags["$O"] != "OrderInfo" {
+		t.Fatalf("query tag missing: %v", res.Tags)
+	}
+	foundViewTag := false
+	for v, tag := range res.Tags {
+		if tag == "customer" && strings.HasPrefix(string(v), "$C") {
+			foundViewTag = true
+		}
+	}
+	if !foundViewTag {
+		t.Fatalf("view tags not merged: %v", res.Tags)
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	origin := viewOrigin(t)
+	ctx := qdom.Context{FromRoot: true}
+
+	// Query that never references root.
+	q := xquery.MustParse(`FOR $C IN document(&root1)/customer RETURN $C`)
+	if _, err := compose.Decontextualize(origin, ctx, q, "root", "res"); err == nil {
+		t.Error("composition without a root reference must fail")
+	}
+
+	// Two root references (documented limitation).
+	q2 := xquery.MustParse(`
+FOR $A IN document(root)/CustRec
+    $B IN document(root)/CustRec
+RETURN $A`)
+	if _, err := compose.Decontextualize(origin, ctx, q2, "root", "res"); err == nil {
+		t.Error("double root reference must fail")
+	}
+
+	// Nil origin.
+	if _, err := compose.Decontextualize(nil, ctx, q, "root", "res"); err == nil {
+		t.Error("nil origin must fail")
+	}
+
+	// Provenance variable with no recorded tag (an unknown binding).
+	badCtx := qdom.Context{Var: "$ZZ"}
+	q3 := xquery.MustParse(`FOR $O IN document(root)/orders RETURN $O`)
+	_, err := compose.Decontextualize(origin, badCtx, q3, "root", "res")
+	if err == nil || !errors.Is(err, compose.ErrNotDecontextualizable) {
+		t.Errorf("unknown provenance should be ErrNotDecontextualizable, got %v", err)
+	}
+}
+
+// TestDecontextualizeFromNestedPlanNode: a query issued from an OrderInfo
+// node — whose variable lives inside the view's nested (apply) plan — is
+// decontextualized by inlining the nested body over the grouping's input
+// (the unnesting extension; the paper's id encoding covers this case).
+func TestDecontextualizeFromNestedPlanNode(t *testing.T) {
+	cat, db := workload.PaperCatalog()
+	origin := viewOrigin(t)
+	prog, err := engine.Compile(origin.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := qdom.NewDocument(prog.Run(), &qdom.Origin{Plan: origin.Plan, Tags: origin.Tags})
+	// Navigate: second CustRec (XYZ123) → its SECOND OrderInfo (31416).
+	oi := doc.Root().Down().Right().Down().Right().Right()
+	if oi.Label() != "OrderInfo" {
+		t.Fatalf("navigated to %q", oi.Label())
+	}
+	ctx, ok := oi.Context()
+	if !ok || ctx.Var != "$V" {
+		t.Fatalf("context = %+v, %v", ctx, ok)
+	}
+
+	q := xquery.MustParse(`
+FOR $T IN document(root)/orders
+WHERE $T/value < 100000
+RETURN $T`)
+	res, err := compose.Decontextualize(origin, ctx, q, "root", "res")
+	if err != nil {
+		t.Fatalf("nested-node decontextualization failed: %v", err)
+	}
+	got := xmas.Format(res.Plan)
+	if strings.Contains(got, "apply") {
+		t.Fatalf("apply should be unnested away:\n%s", got)
+	}
+	for _, want := range []string{"select($O = &31416)", "select($C = &XYZ123)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing fixation %q:\n%s", want, got)
+		}
+	}
+
+	db.ResetStats()
+	prog2, err := engine.Compile(res.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog2.Run().Materialize()
+	if len(m.Children) != 1 {
+		t.Fatalf("children = %d, want 1 (order 31416 only):\n%s", len(m.Children), m.Pretty())
+	}
+	if orid := m.Children[0].Find("orid"); orid == nil || orid.Children[0].Label != "31416" {
+		t.Fatalf("wrong order:\n%s", m.Pretty())
+	}
+}
+
+// TestNaiveComposeExecutable: the Figure 13 form runs and matches the
+// spliced composition's result.
+func TestNaiveComposeExecutable(t *testing.T) {
+	q := xquery.MustParse(workload.Fig12)
+	naive, err := compose.NaiveCompose(viewOrigin(t), q, "rootv", "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spliced, err := compose.Decontextualize(viewOrigin(t), qdom.Context{FromRoot: true}, q, "rootv", "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(plan xmas.Op) string {
+		cat, _ := workload.PaperCatalog()
+		prog, err := engine.Compile(plan, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog.Run().Materialize().String()
+	}
+	if a, b := run(naive.Plan), run(spliced.Plan); a != b {
+		t.Fatalf("naive and spliced compositions differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestNaiveComposeErrors(t *testing.T) {
+	q := xquery.MustParse(`FOR $C IN document(&root1)/customer RETURN $C`)
+	if _, err := compose.NaiveCompose(viewOrigin(t), q, "rootv", "res"); err == nil {
+		t.Error("naive composition without view reference must fail")
+	}
+	if _, err := compose.NaiveCompose(nil, q, "rootv", "res"); err == nil {
+		t.Error("nil origin must fail")
+	}
+}

@@ -1,0 +1,65 @@
+// Package eager is the conventional-mediator baseline the paper contrasts
+// MIX with (Section 1): "the user/client issues queries and the mediator
+// server responds with the full query answer ... other XML mediator
+// systems, even those based on the virtual approach, compute and return the
+// full result of the user query."
+//
+// Eval materializes the complete answer before returning, so the client
+// pays for every tuple whether or not it ever browses there. Experiment E10
+// measures the difference against the lazy engine as a function of how much
+// of the result the client actually visits.
+package eager
+
+import (
+	"fmt"
+
+	"mix/internal/engine"
+	"mix/internal/source"
+	"mix/internal/xmas"
+	"mix/internal/xtree"
+)
+
+// Eval computes the full result of the plan: every source tuple the plan
+// can touch is fetched and the whole answer tree is built in memory before
+// Eval returns.
+func Eval(plan xmas.Op, cat *source.Catalog) (*xtree.Node, error) {
+	prog, err := engine.Compile(plan, cat)
+	if err != nil {
+		return nil, err
+	}
+	res := prog.Run()
+	root := res.Materialize()
+	if err := res.Err(); err != nil {
+		return nil, fmt.Errorf("eager: %w", err)
+	}
+	return root, nil
+}
+
+// Document wraps a fully materialized answer behind the same minimal
+// navigation surface as the lazy result, for apples-to-apples benchmarks.
+type Document struct {
+	Root *xtree.Node
+}
+
+// EvalDocument is Eval returning a navigable wrapper.
+func EvalDocument(plan xmas.Op, cat *source.Catalog) (*Document, error) {
+	root, err := Eval(plan, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{Root: root}, nil
+}
+
+// Down returns the first child of a node (or nil).
+func (d *Document) Down(n *xtree.Node) *xtree.Node { return n.FirstChild() }
+
+// Right returns the next sibling within the parent (or nil). The eager
+// baseline keeps no parent pointers; callers track position themselves,
+// which mirrors plain-DOM usage.
+func (d *Document) Right(parent, n *xtree.Node) *xtree.Node {
+	idx := parent.ChildIndex(n)
+	if idx < 0 || idx+1 >= len(parent.Children) {
+		return nil
+	}
+	return parent.Children[idx+1]
+}

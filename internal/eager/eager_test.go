@@ -1,0 +1,95 @@
+package eager_test
+
+import (
+	"testing"
+
+	"mix/internal/eager"
+	"mix/internal/engine"
+	"mix/internal/translate"
+	"mix/internal/workload"
+	"mix/internal/xquery"
+	"mix/internal/xtree"
+)
+
+func TestEagerMatchesLazy(t *testing.T) {
+	tr := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+
+	catE, dbE := workload.PaperCatalog()
+	eagerRoot, err := eager.Eval(tr.Plan, catE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerShipped := dbE.Stats().TuplesShipped
+
+	catL, dbL := workload.PaperCatalog()
+	prog, err := engine.Compile(tr.Plan, catL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazyRoot := prog.Run().Materialize()
+	if !xtree.Equal(eagerRoot, lazyRoot) {
+		t.Fatalf("eager and fully-forced lazy results differ:\n%s\nvs\n%s",
+			eagerRoot.Pretty(), lazyRoot.Pretty())
+	}
+	if dbL.Stats().TuplesShipped != eagerShipped {
+		t.Fatalf("full materialization must ship the same amount: %d vs %d",
+			dbL.Stats().TuplesShipped, eagerShipped)
+	}
+}
+
+// TestEagerPaysUpfront: the eager baseline ships everything before
+// returning, while the lazy engine ships nothing until navigated — the
+// paper's Section 1 contrast.
+func TestEagerPaysUpfront(t *testing.T) {
+	tr := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+
+	catE, dbE := workload.PaperCatalog()
+	if _, err := eager.Eval(tr.Plan, catE); err != nil {
+		t.Fatal(err)
+	}
+	if dbE.Stats().TuplesShipped == 0 {
+		t.Fatal("eager evaluation must ship the full input")
+	}
+
+	catL, dbL := workload.PaperCatalog()
+	prog, err := engine.Compile(tr.Plan, catL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prog.Run()
+	if got := dbL.Stats().TuplesShipped; got != 0 {
+		t.Fatalf("lazy run shipped %d tuples before navigation", got)
+	}
+}
+
+func TestEagerDocumentNavigation(t *testing.T) {
+	tr := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	cat, _ := workload.PaperCatalog()
+	doc, err := eager.EvalDocument(tr.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := doc.Down(doc.Root)
+	if first == nil || first.Label != "CustRec" {
+		t.Fatalf("Down = %v", first)
+	}
+	second := doc.Right(doc.Root, first)
+	if second == nil || second.Label != "CustRec" {
+		t.Fatalf("Right = %v", second)
+	}
+	if doc.Right(doc.Root, second) != nil {
+		t.Fatal("Right past end")
+	}
+	stranger := first.Clone()
+	if doc.Right(doc.Root, stranger) != nil {
+		t.Fatal("Right of a non-child must be nil")
+	}
+}
+
+func TestEagerError(t *testing.T) {
+	tr := translate.MustTranslate(xquery.MustParse(`FOR $C IN document(&missing)/x RETURN $C`), "res")
+	cat, _ := workload.PaperCatalog()
+	if _, err := eager.Eval(tr.Plan, cat); err == nil {
+		t.Fatal("unknown source must error")
+	}
+}

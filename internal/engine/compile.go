@@ -1,0 +1,919 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mix/internal/relstore"
+	"mix/internal/source"
+	"mix/internal/sqlexec"
+	"mix/internal/wrapper"
+	"mix/internal/xmas"
+	"mix/internal/xtree"
+)
+
+// Ctx carries per-execution state: the source catalog, optional metrics,
+// and, inside nested plans, the partition bindings read by nestedSrc.
+type Ctx struct {
+	cat     *source.Catalog
+	nested  map[xmas.Var]SetVal
+	metrics *Metrics
+}
+
+// NewCtx builds a top-level execution context over a catalog.
+func NewCtx(cat *source.Catalog) *Ctx {
+	return &Ctx{cat: cat}
+}
+
+func (c *Ctx) withNested(v xmas.Var, s SetVal) *Ctx {
+	child := &Ctx{cat: c.cat, metrics: c.metrics, nested: map[xmas.Var]SetVal{}}
+	for k, val := range c.nested {
+		child.nested[k] = val
+	}
+	child.nested[v] = s
+	return child
+}
+
+// compiledOp instantiates a fresh cursor for one operator.
+type compiledOp func(ctx *Ctx) Cursor
+
+// compile translates an operator subtree into a cursor factory, resolving
+// sources eagerly so bad plans fail before any navigation happens. When the
+// execution context carries metrics, every operator's output is counted.
+func compile(op xmas.Op, cat *source.Catalog) (compiledOp, error) {
+	inner, err := compileRaw(op, cat)
+	if err != nil {
+		return nil, err
+	}
+	name := op.Name()
+	return func(ctx *Ctx) Cursor {
+		cur := inner(ctx)
+		if ctx.metrics != nil {
+			return &countingCursor{in: cur, c: ctx.metrics.counter(name)}
+		}
+		return cur
+	}, nil
+}
+
+func compileRaw(op xmas.Op, cat *source.Catalog) (compiledOp, error) {
+	switch o := op.(type) {
+	case *xmas.MkSrc:
+		return compileMkSrc(o, cat)
+	case *xmas.GetD:
+		return compileGetD(o, cat)
+	case *xmas.Select:
+		return compileSelect(o, cat)
+	case *xmas.Project:
+		return compileProject(o, cat)
+	case *xmas.Join:
+		return compileJoin(o, cat)
+	case *xmas.SemiJoin:
+		return compileSemiJoin(o, cat)
+	case *xmas.CrElt:
+		return compileCrElt(o, cat)
+	case *xmas.Cat:
+		return compileCat(o, cat)
+	case *xmas.GroupBy:
+		return compileGroupBy(o, cat)
+	case *xmas.Apply:
+		return compileApply(o, cat)
+	case *xmas.NestedSrc:
+		return compileNestedSrc(o)
+	case *xmas.RelQuery:
+		return compileRelQuery(o, cat)
+	case *xmas.OrderBy:
+		return compileOrderBy(o, cat)
+	case *xmas.Empty:
+		return func(*Ctx) Cursor { return emptyCursor{} }, nil
+	case *xmas.TD:
+		return nil, fmt.Errorf("engine: tD can only appear at a plan root")
+	}
+	return nil, fmt.Errorf("engine: unsupported operator %T", op)
+}
+
+// ---- sources ----
+
+func compileMkSrc(o *xmas.MkSrc, cat *source.Catalog) (compiledOp, error) {
+	schema := o.Schema()
+
+	// Naive composition (Figure 13): the "document" is the result of an
+	// inner view plan. Executing this form evaluates the view at the
+	// mediator — the baseline the rewriter exists to beat (experiment E11).
+	if o.In != nil {
+		inner, err := Compile(o.In, cat)
+		if err != nil {
+			return nil, fmt.Errorf("engine: mkSrc(%s) view input: %w", o.SrcID, err)
+		}
+		return func(*Ctx) Cursor {
+			var kids *LazyList[*Elem]
+			i := 0
+			return cursorFunc(func() (Tuple, bool, error) {
+				if kids == nil {
+					res := inner.Run()
+					kids = res.Root.Kids()
+				}
+				e, ok := kids.Get(i)
+				if !ok {
+					return Tuple{}, false, nil
+				}
+				i++
+				return NewTuple(schema, []Value{NodeVal{E: stampElem(e, o.Out)}}), true, nil
+			})
+		}, nil
+	}
+
+	doc, err := cat.Resolve(o.SrcID)
+	if err != nil {
+		return nil, err
+	}
+	return func(*Ctx) Cursor {
+		var cur source.ElemCursor
+		return cursorFunc(func() (Tuple, bool, error) {
+			if cur == nil {
+				c, err := doc.Open()
+				if err != nil {
+					return Tuple{}, false, err
+				}
+				cur = c
+			}
+			n, ok, err := cur.Next()
+			if err != nil || !ok {
+				return Tuple{}, false, err
+			}
+			e := FromNode(n).WithProv(&Provenance{
+				Var:   o.Out,
+				Fixed: []Fixation{{Var: o.Out, ID: string(n.ID)}},
+			})
+			return NewTuple(schema, []Value{NodeVal{E: e}}), true, nil
+		})
+	}, nil
+}
+
+func compileNestedSrc(o *xmas.NestedSrc) (compiledOp, error) {
+	return func(ctx *Ctx) Cursor {
+		s, ok := ctx.nested[o.V]
+		if !ok {
+			return cursorFunc(func() (Tuple, bool, error) {
+				return Tuple{}, false, fmt.Errorf("engine: nSrc(%s) evaluated outside apply", o.V)
+			})
+		}
+		return lazySetCursor(s)
+	}, nil
+}
+
+func compileRelQuery(o *xmas.RelQuery, cat *source.Catalog) (compiledOp, error) {
+	db, ok := cat.RelDB(o.Server)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown relational server %s", o.Server)
+	}
+	schema := o.Schema()
+	maps := o.Maps
+	sql := o.SQL
+	return func(*Ctx) Cursor {
+		var cur relstore.Cursor
+		return cursorFunc(func() (Tuple, bool, error) {
+			if cur == nil {
+				c, _, err := sqlexec.ExecSQL(db, sql)
+				if err != nil {
+					return Tuple{}, false, fmt.Errorf("engine: rQ(%s): %w", o.Server, err)
+				}
+				cur = c
+			}
+			row, ok := cur.Next()
+			if !ok {
+				return Tuple{}, false, nil
+			}
+			vals := make([]Value, len(maps))
+			for i, m := range maps {
+				e := elemFromRow(m, row)
+				vals[i] = NodeVal{E: stampElem(e, m.V)}
+			}
+			return NewTuple(schema, vals), true, nil
+		})
+	}, nil
+}
+
+// elemFromRow rebuilds the element a VarMap describes from an SQL result
+// row: a wrapper tuple object when the map carries columns, or a bare value
+// leaf otherwise.
+func elemFromRow(m xmas.VarMap, row []relstore.Datum) *Elem {
+	if len(m.Cols) == 0 {
+		// Value-level variable: single key column holds the value.
+		pos := 0
+		if len(m.KeyCols) > 0 {
+			pos = m.KeyCols[0]
+		}
+		return NewLeaf("", row[pos].String())
+	}
+	keyVals := make([]string, len(m.KeyCols))
+	for i, k := range m.KeyCols {
+		keyVals[i] = row[k].String()
+	}
+	// Column-level variable (a single column with an empty child label):
+	// rebuild <col>value</col> with the wrapper's "&key.col" id.
+	if len(m.Cols) == 1 && m.Cols[0].Label == "" {
+		id := "&" + strings.Join(keyVals, ".") + "." + m.ElemLabel
+		return NewElem(id, m.ElemLabel, ListOf(NewLeaf("", row[m.Cols[0].Pos].String())))
+	}
+	cols := make([]wrapper.ColValue, len(m.Cols))
+	for i, c := range m.Cols {
+		cols[i] = wrapper.ColValue{Label: c.Label, Value: row[c.Pos].String()}
+	}
+	return FromNode(wrapper.PartialTupleElem(m.ElemLabel, keyVals, cols))
+}
+
+// ---- navigation ----
+
+func compileGetD(o *xmas.GetD, cat *source.Catalog) (compiledOp, error) {
+	in, err := compile(o.In, cat)
+	if err != nil {
+		return nil, err
+	}
+	schema := o.Schema()
+	path := o.Path
+	return func(ctx *Ctx) Cursor {
+		input := in(ctx)
+		var cur Tuple
+		var matches func() (*Elem, bool)
+		return cursorFunc(func() (Tuple, bool, error) {
+			for {
+				if matches != nil {
+					if e, ok := matches(); ok {
+						e = e.WithProv(&Provenance{
+							Var:   o.Out,
+							Fixed: []Fixation{{Var: o.Out, ID: e.ID}},
+						})
+						return cur.Extend(schema, NodeVal{E: e}), true, nil
+					}
+					matches = nil
+				}
+				t, ok, err := input.Next()
+				if err != nil || !ok {
+					return Tuple{}, false, err
+				}
+				cur = t
+				switch v := t.MustGet(o.From).(type) {
+				case NodeVal:
+					matches = pathStream(v.E, path)
+				case ListVal:
+					// The rewrite rules (Table 2) produce paths like
+					// list.q over list-valued variables, treating the
+					// list as a virtual node labeled "list" — exactly
+					// the tree representation of Figure 5.
+					matches = pathStream(NewElem("", "list", v.L), path)
+				default:
+					continue
+				}
+			}
+		})
+	}, nil
+}
+
+// pathStream yields, in document order, every element reachable from root by
+// a downward path whose labels spell path — including root's own label as
+// the first step (paper operator 2).
+func pathStream(root *Elem, path xmas.Path) func() (*Elem, bool) {
+	type frame struct {
+		e   *Elem
+		idx int // path position this frame's element matched
+		ki  int // next child to explore
+	}
+	var stack []frame
+	if root != nil && len(path) > 0 && xmas.StepMatches(path[0], root.Label) {
+		stack = append(stack, frame{e: root})
+	}
+	return func() (*Elem, bool) {
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.idx == len(path)-1 {
+				e := f.e
+				stack = stack[:len(stack)-1]
+				return e, true
+			}
+			kid, ok := f.e.Kids().Get(f.ki)
+			if !ok {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			f.ki++
+			if xmas.StepMatches(path[f.idx+1], kid.Label) {
+				stack = append(stack, frame{e: kid, idx: f.idx + 1})
+			}
+		}
+		return nil, false
+	}
+}
+
+// ---- filtering ----
+
+func compileSelect(o *xmas.Select, cat *source.Catalog) (compiledOp, error) {
+	in, err := compile(o.In, cat)
+	if err != nil {
+		return nil, err
+	}
+	cond := o.Cond
+	return func(ctx *Ctx) Cursor {
+		input := in(ctx)
+		return cursorFunc(func() (Tuple, bool, error) {
+			for {
+				t, ok, err := input.Next()
+				if err != nil || !ok {
+					return Tuple{}, false, err
+				}
+				if evalCond(cond, t) {
+					return t, true, nil
+				}
+			}
+		})
+	}, nil
+}
+
+func compileProject(o *xmas.Project, cat *source.Catalog) (compiledOp, error) {
+	in, err := compile(o.In, cat)
+	if err != nil {
+		return nil, err
+	}
+	vars := o.Vars
+	return func(ctx *Ctx) Cursor {
+		input := in(ctx)
+		seen := map[string]bool{}
+		return cursorFunc(func() (Tuple, bool, error) {
+			for {
+				t, ok, err := input.Next()
+				if err != nil || !ok {
+					return Tuple{}, false, err
+				}
+				p := t.Project(vars)
+				k := p.Key(vars)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				return p, true, nil
+			}
+		})
+	}, nil
+}
+
+func compileJoin(o *xmas.Join, cat *source.Catalog) (compiledOp, error) {
+	left, err := compile(o.L, cat)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compile(o.R, cat)
+	if err != nil {
+		return nil, err
+	}
+	schema := o.Schema()
+	cond := o.Cond
+
+	// Equi-joins on two variables run as hash joins (build right, stream
+	// left); everything else is a nested loop over a materialized right.
+	if cond != nil && cond.Op == xtree.OpEQ && !cond.Left.IsConst && !cond.Right.IsConst {
+		lv, rv := cond.Left.V, cond.Right.V
+		// Decide which operand belongs to which branch.
+		lSchema := o.L.Schema()
+		if !xmas.HasVar(lSchema, lv) {
+			lv, rv = rv, lv
+		}
+		return func(ctx *Ctx) Cursor {
+			linput := left(ctx)
+			var table map[string][]Tuple
+			var matches []Tuple
+			var matchIdx int
+			var lt Tuple
+			return cursorFunc(func() (Tuple, bool, error) {
+				if table == nil {
+					rows, err := drain(right(ctx))
+					if err != nil {
+						return Tuple{}, false, err
+					}
+					table = map[string][]Tuple{}
+					for _, rt := range rows {
+						if a, ok := cmpKeyOf(rt.MustGet(rv)); ok {
+							table[normKey(a)] = append(table[normKey(a)], rt)
+						}
+					}
+				}
+				for {
+					if matchIdx < len(matches) {
+						rt := matches[matchIdx]
+						matchIdx++
+						return lt.Merge(schema, rt), true, nil
+					}
+					t, ok, err := linput.Next()
+					if err != nil || !ok {
+						return Tuple{}, false, err
+					}
+					lt = t
+					matches = nil
+					matchIdx = 0
+					if a, ok := cmpKeyOf(t.MustGet(lv)); ok {
+						matches = table[normKey(a)]
+					}
+				}
+			})
+		}, nil
+	}
+
+	return func(ctx *Ctx) Cursor {
+		linput := left(ctx)
+		var rrows []Tuple
+		loaded := false
+		var lt Tuple
+		ri := 0
+		haveLeft := false
+		return cursorFunc(func() (Tuple, bool, error) {
+			if !loaded {
+				rows, err := drain(right(ctx))
+				if err != nil {
+					return Tuple{}, false, err
+				}
+				rrows = rows
+				loaded = true
+			}
+			for {
+				if !haveLeft {
+					t, ok, err := linput.Next()
+					if err != nil || !ok {
+						return Tuple{}, false, err
+					}
+					lt = t
+					ri = 0
+					haveLeft = true
+				}
+				for ri < len(rrows) {
+					rt := rrows[ri]
+					ri++
+					merged := lt.Merge(schema, rt)
+					if cond == nil || evalCond(*cond, merged) {
+						return merged, true, nil
+					}
+				}
+				haveLeft = false
+			}
+		})
+	}, nil
+}
+
+func compileSemiJoin(o *xmas.SemiJoin, cat *source.Catalog) (compiledOp, error) {
+	left, err := compile(o.L, cat)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compile(o.R, cat)
+	if err != nil {
+		return nil, err
+	}
+	keepLeft := o.Keep == xmas.KeepLeft
+	cond := o.Cond
+	var keepSide, otherSide compiledOp
+	if keepLeft {
+		keepSide, otherSide = left, right
+	} else {
+		keepSide, otherSide = right, left
+	}
+	var keepVar, otherVar xmas.Var
+	hashable := false
+	if cond != nil && cond.Op == xtree.OpEQ && !cond.Left.IsConst && !cond.Right.IsConst {
+		keepSchema := o.L.Schema()
+		if !keepLeft {
+			keepSchema = o.R.Schema()
+		}
+		if xmas.HasVar(keepSchema, cond.Left.V) {
+			keepVar, otherVar = cond.Left.V, cond.Right.V
+		} else {
+			keepVar, otherVar = cond.Right.V, cond.Left.V
+		}
+		hashable = true
+	}
+	outSchema := o.Schema()
+	return func(ctx *Ctx) Cursor {
+		input := keepSide(ctx)
+		var keys map[string]bool
+		var others []Tuple
+		loaded := false
+		seen := map[string]bool{}
+		return cursorFunc(func() (Tuple, bool, error) {
+			if !loaded {
+				rows, err := drain(otherSide(ctx))
+				if err != nil {
+					return Tuple{}, false, err
+				}
+				if hashable {
+					keys = map[string]bool{}
+					for _, rt := range rows {
+						if a, ok := cmpKeyOf(rt.MustGet(otherVar)); ok {
+							keys[normKey(a)] = true
+						}
+					}
+				} else {
+					others = rows
+				}
+				loaded = true
+			}
+			for {
+				t, ok, err := input.Next()
+				if err != nil || !ok {
+					return Tuple{}, false, err
+				}
+				match := false
+				if hashable {
+					if a, ok := cmpKeyOf(t.MustGet(keepVar)); ok && keys[normKey(a)] {
+						match = true
+					}
+				} else {
+					for _, rt := range others {
+						var merged Tuple
+						if keepLeft {
+							merged = t.Merge(append(append([]xmas.Var{}, t.Schema()...), rt.Schema()...), rt)
+						} else {
+							merged = rt.Merge(append(append([]xmas.Var{}, rt.Schema()...), t.Schema()...), t)
+						}
+						if cond == nil || evalCond(*cond, merged) {
+							match = true
+							break
+						}
+					}
+				}
+				if !match {
+					continue
+				}
+				k := t.Key(outSchema)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				return t, true, nil
+			}
+		})
+	}, nil
+}
+
+// ---- construction ----
+
+// skolemID builds the semantically meaningful ids of Figure 7:
+// &($V,f(&XYZ123)).
+func skolemID(out xmas.Var, fn string, args []string) string {
+	return fmt.Sprintf("&(%s,%s(%s))", out, fn, strings.Join(args, ","))
+}
+
+// stampList wraps list elements with provenance for the collecting variable
+// unless they already carry it (crElt output keeps its richer record).
+func stampElem(e *Elem, v xmas.Var) *Elem {
+	if e == nil {
+		return nil
+	}
+	if e.Prov != nil && e.Prov.Var == v {
+		return e
+	}
+	return e.WithProv(&Provenance{Var: v, Fixed: []Fixation{{Var: v, ID: e.ID}}})
+}
+
+// childList resolves a ChildSpec against a tuple into a lazy element list.
+func childList(spec xmas.ChildSpec, t Tuple) *LazyList[*Elem] {
+	val := t.MustGet(spec.V)
+	if spec.Wrap {
+		if nv, ok := val.(NodeVal); ok {
+			return ListOf(stampElem(nv.E, spec.V))
+		}
+		return ListOf[*Elem]()
+	}
+	switch x := val.(type) {
+	case ListVal:
+		i := 0
+		return NewLazyList(func() (*Elem, bool) {
+			e, ok := x.L.Get(i)
+			if !ok {
+				return nil, false
+			}
+			i++
+			return e, true
+		})
+	case NodeVal:
+		// A bare element where a list was expected: treat as singleton
+		// (tolerant, mirrors the paper's loose figures).
+		return ListOf(stampElem(x.E, spec.V))
+	}
+	return ListOf[*Elem]()
+}
+
+func compileCrElt(o *xmas.CrElt, cat *source.Catalog) (compiledOp, error) {
+	in, err := compile(o.In, cat)
+	if err != nil {
+		return nil, err
+	}
+	schema := o.Schema()
+	return func(ctx *Ctx) Cursor {
+		input := in(ctx)
+		return cursorFunc(func() (Tuple, bool, error) {
+			t, ok, err := input.Next()
+			if err != nil || !ok {
+				return Tuple{}, false, err
+			}
+			args := make([]string, len(o.GroupVars))
+			fixed := make([]Fixation, len(o.GroupVars))
+			for i, g := range o.GroupVars {
+				key := orderKey(t.MustGet(g))
+				args[i] = key
+				fixed[i] = Fixation{Var: g, ID: key}
+			}
+			id := skolemID(o.Out, o.SkolemFn, args)
+			kids := childList(o.Children, t)
+			e := NewElem(id, o.Label, kids)
+			e.Prov = &Provenance{Var: o.Out, Fixed: fixed}
+			return t.Extend(schema, NodeVal{E: e}), true, nil
+		})
+	}, nil
+}
+
+func compileCat(o *xmas.Cat, cat *source.Catalog) (compiledOp, error) {
+	in, err := compile(o.In, cat)
+	if err != nil {
+		return nil, err
+	}
+	schema := o.Schema()
+	return func(ctx *Ctx) Cursor {
+		input := in(ctx)
+		return cursorFunc(func() (Tuple, bool, error) {
+			t, ok, err := input.Next()
+			if err != nil || !ok {
+				return Tuple{}, false, err
+			}
+			l := Concat(childList(o.X, t), childList(o.Y, t))
+			return t.Extend(schema, ListVal{L: l}), true, nil
+		})
+	}, nil
+}
+
+// ---- grouping ----
+
+func compileGroupBy(o *xmas.GroupBy, cat *source.Catalog) (compiledOp, error) {
+	in, err := compile(o.In, cat)
+	if err != nil {
+		return nil, err
+	}
+	inSchema := o.In.Schema()
+	outSchema := o.Schema()
+	keys := o.Keys
+	if o.Presorted {
+		return func(ctx *Ctx) Cursor {
+			return &presortedGroupCursor{
+				in: in(ctx), keys: keys,
+				inSchema: inSchema, outSchema: outSchema,
+			}
+		}, nil
+	}
+	// Stateful group-by: buffers the whole input (paper Section 4: "the
+	// stateful gBy makes no such assumptions, and hence needs buffers").
+	return func(ctx *Ctx) Cursor {
+		input := in(ctx)
+		var groups []Tuple
+		loaded := false
+		pos := 0
+		return cursorFunc(func() (Tuple, bool, error) {
+			if !loaded {
+				rows, err := drain(input)
+				if err != nil {
+					return Tuple{}, false, err
+				}
+				index := map[string]int{}
+				var order []string
+				byKey := map[string][]Tuple{}
+				for _, t := range rows {
+					k := t.Key(keys)
+					if _, ok := index[k]; !ok {
+						index[k] = len(order)
+						order = append(order, k)
+					}
+					byKey[k] = append(byKey[k], t)
+				}
+				for _, k := range order {
+					part := byKey[k]
+					vals := make([]Value, 0, len(outSchema))
+					for _, kv := range keys {
+						vals = append(vals, part[0].MustGet(kv))
+					}
+					vals = append(vals, SetVal{Schema: inSchema, Tuples: ListOf(part...)})
+					groups = append(groups, NewTuple(outSchema, vals))
+				}
+				loaded = true
+			}
+			if pos >= len(groups) {
+				return Tuple{}, false, nil
+			}
+			g := groups[pos]
+			pos++
+			return g, true, nil
+		})
+	}, nil
+}
+
+// presortedGroupCursor is the stateless group-by of paper Table 1: it
+// assumes the input arrives sorted on the group-by variables and streams one
+// group at a time. Advancing to the next group before the current partition
+// is consumed forces the remainder of the partition (the r(⟨binding...⟩)
+// loop of Table 1 performs the same pulls).
+type presortedGroupCursor struct {
+	in        Cursor
+	keys      []xmas.Var
+	inSchema  []xmas.Var
+	outSchema []xmas.Var
+
+	pending    Tuple
+	hasPending bool
+	done       bool
+	current    *LazyList[Tuple]
+}
+
+func (g *presortedGroupCursor) Next() (Tuple, bool, error) {
+	if g.done {
+		return Tuple{}, false, nil
+	}
+	// Finish the previous partition so the shared input cursor is
+	// positioned at the next group.
+	if g.current != nil {
+		g.current.Len()
+		g.current = nil
+	}
+	var first Tuple
+	if g.hasPending {
+		first = g.pending
+		g.hasPending = false
+	} else {
+		t, ok, err := g.in.Next()
+		if err != nil {
+			return Tuple{}, false, err
+		}
+		if !ok {
+			g.done = true
+			return Tuple{}, false, nil
+		}
+		first = t
+	}
+	key := first.Key(g.keys)
+	emittedFirst := false
+	part := NewLazyList(func() (Tuple, bool) {
+		if !emittedFirst {
+			emittedFirst = true
+			return first, true
+		}
+		if g.hasPending || g.done {
+			return Tuple{}, false
+		}
+		t, ok, err := g.in.Next()
+		if err != nil || !ok {
+			g.done = g.done || !ok
+			if err != nil {
+				g.done = true
+			}
+			return Tuple{}, false
+		}
+		if t.Key(g.keys) != key {
+			g.pending = t
+			g.hasPending = true
+			return Tuple{}, false
+		}
+		return t, true
+	})
+	g.current = part
+	if g.hasPending && g.done {
+		g.done = false
+	}
+	vals := make([]Value, 0, len(g.outSchema))
+	for _, kv := range g.keys {
+		vals = append(vals, first.MustGet(kv))
+	}
+	vals = append(vals, SetVal{Schema: g.inSchema, Tuples: part})
+	// done flag may have been set by the partition producer; groups keep
+	// flowing until the input is exhausted AND no pending tuple remains.
+	if g.done && g.hasPending {
+		g.done = false
+	}
+	return NewTuple(g.outSchema, vals), true, nil
+}
+
+// ---- nested plans ----
+
+func compileApply(o *xmas.Apply, cat *source.Catalog) (compiledOp, error) {
+	in, err := compile(o.In, cat)
+	if err != nil {
+		return nil, err
+	}
+	td, ok := o.Plan.(*xmas.TD)
+	if !ok {
+		return nil, fmt.Errorf("engine: nested plan of apply must end in tD, got %s", o.Plan.Name())
+	}
+	nestedIn, err := compile(td.In, cat)
+	if err != nil {
+		return nil, err
+	}
+	collectVar := td.V
+	schema := o.Schema()
+	return func(ctx *Ctx) Cursor {
+		input := in(ctx)
+		return cursorFunc(func() (Tuple, bool, error) {
+			t, ok, err := input.Next()
+			if err != nil || !ok {
+				return Tuple{}, false, err
+			}
+			part, isSet := t.MustGet(o.InpVar).(SetVal)
+			if !isSet {
+				return Tuple{}, false, fmt.Errorf("engine: apply input %s is not a set", o.InpVar)
+			}
+			nctx := ctx.withNested(o.InpVar, part)
+			var cur Cursor
+			seen := map[string]bool{}
+			var pending *LazyList[*Elem]
+			pendingIdx := 0
+			l := NewLazyList(func() (*Elem, bool) {
+				if cur == nil {
+					cur = nestedIn(nctx)
+				}
+				for {
+					// Drain a list-valued binding first (a nested query's
+					// result flattens into the collected sequence).
+					if pending != nil {
+						if e, ok := pending.Get(pendingIdx); ok {
+							pendingIdx++
+							e = stampElem(e, collectVar)
+							if e.ID != "" {
+								if seen[e.ID] {
+									continue
+								}
+								seen[e.ID] = true
+							}
+							return e, true
+						}
+						pending = nil
+					}
+					nt, ok, err := cur.Next()
+					if err != nil || !ok {
+						return nil, false
+					}
+					switch v := nt.MustGet(collectVar).(type) {
+					case NodeVal:
+						if v.E == nil {
+							continue
+						}
+						e := stampElem(v.E, collectVar)
+						if e.ID != "" {
+							if seen[e.ID] {
+								continue
+							}
+							seen[e.ID] = true
+						}
+						return e, true
+					case ListVal:
+						pending = v.L
+						pendingIdx = 0
+					}
+				}
+			})
+			return t.Extend(schema, ListVal{L: l}), true, nil
+		})
+	}, nil
+}
+
+// ---- ordering ----
+
+func compileOrderBy(o *xmas.OrderBy, cat *source.Catalog) (compiledOp, error) {
+	in, err := compile(o.In, cat)
+	if err != nil {
+		return nil, err
+	}
+	vars := o.Vars
+	return func(ctx *Ctx) Cursor {
+		input := in(ctx)
+		var rows []Tuple
+		loaded := false
+		pos := 0
+		return cursorFunc(func() (Tuple, bool, error) {
+			if !loaded {
+				r, err := drain(input)
+				if err != nil {
+					return Tuple{}, false, err
+				}
+				rows = r
+				sort.SliceStable(rows, func(i, j int) bool {
+					for _, v := range vars {
+						a := orderKey(rows[i].MustGet(v))
+						b := orderKey(rows[j].MustGet(v))
+						if a != b {
+							return a < b
+						}
+					}
+					return false
+				})
+				loaded = true
+			}
+			if pos >= len(rows) {
+				return Tuple{}, false, nil
+			}
+			t := rows[pos]
+			pos++
+			return t, true, nil
+		})
+	}, nil
+}

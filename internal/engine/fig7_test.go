@@ -1,0 +1,74 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"mix/internal/engine"
+	"mix/internal/translate"
+	"mix/internal/workload"
+	"mix/internal/xquery"
+)
+
+// TestFigure7Result is the golden test for paper Figure 7: the result of
+// the Figure 3 view over the Figure 2 database, including the semantically
+// meaningful object ids — &($V,f(&XYZ123))-style skolems for constructed
+// elements and key-derived wrapper oids for source tuples.
+func TestFigure7Result(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	tr := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	prog, err := engine.Compile(tr.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := prog.Run()
+	got := strings.TrimSpace(res.Materialize().Pretty())
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(`
+&rootv list
+  &($V2,g(&DEF345)) CustRec
+    &DEF345 customer
+      &DEF345.id id
+        DEF345
+      &DEF345.name name
+        DEFCorp.
+      &DEF345.addr addr
+        NewYork
+    &($V,f(&59265)) OrderInfo
+      &59265 orders
+        &59265.orid orid
+          59265
+        &59265.cid cid
+          DEF345
+        &59265.value value
+          30000
+  &($V2,g(&XYZ123)) CustRec
+    &XYZ123 customer
+      &XYZ123.id id
+        XYZ123
+      &XYZ123.name name
+        XYZInc.
+      &XYZ123.addr addr
+        LosAngeles
+    &($V,f(&28904)) OrderInfo
+      &28904 orders
+        &28904.orid orid
+          28904
+        &28904.cid cid
+          XYZ123
+        &28904.value value
+          2400
+    &($V,f(&31416)) OrderInfo
+      &31416 orders
+        &31416.orid orid
+          31416
+        &31416.cid cid
+          XYZ123
+        &31416.value value
+          150`)
+	if got != want {
+		t.Fatalf("Figure 7 result mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

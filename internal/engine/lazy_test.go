@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mix/internal/xmas"
+)
+
+func countingProducer(n int, calls *int) func() (int, bool) {
+	i := 0
+	return func() (int, bool) {
+		if i >= n {
+			return 0, false
+		}
+		*calls++
+		v := i
+		i++
+		return v, true
+	}
+}
+
+func TestLazyListForcesOnDemand(t *testing.T) {
+	calls := 0
+	l := NewLazyList(countingProducer(10, &calls))
+	if calls != 0 {
+		t.Fatal("construction must not force")
+	}
+	v, ok := l.Get(2)
+	if !ok || v != 2 {
+		t.Fatalf("Get(2) = %d, %v", v, ok)
+	}
+	if calls != 3 {
+		t.Fatalf("Get(2) forced %d items, want 3", calls)
+	}
+	if l.Forced() != 3 {
+		t.Fatalf("Forced = %d", l.Forced())
+	}
+	// Memoized: re-reads never call the producer.
+	l.Get(0)
+	l.Get(2)
+	if calls != 3 {
+		t.Fatalf("memoization broken: %d calls", calls)
+	}
+	if n := l.Len(); n != 10 || calls != 10 {
+		t.Fatalf("Len = %d, calls = %d", n, calls)
+	}
+	if _, ok := l.Get(10); ok {
+		t.Fatal("out of range Get")
+	}
+}
+
+func TestLazyListExhaustion(t *testing.T) {
+	calls := 0
+	l := NewLazyList(countingProducer(0, &calls))
+	if _, ok := l.Get(0); ok {
+		t.Fatal("empty list Get")
+	}
+	if l.Len() != 0 {
+		t.Fatal("empty list Len")
+	}
+	var nilList *LazyList[int]
+	if nilList.Len() != 0 || nilList.Forced() != 0 {
+		t.Fatal("nil list")
+	}
+	if _, ok := nilList.Get(0); ok {
+		t.Fatal("nil list Get")
+	}
+}
+
+func TestListOf(t *testing.T) {
+	l := ListOf(1, 2, 3)
+	if l.Len() != 3 {
+		t.Fatal("ListOf Len")
+	}
+	if v, _ := l.Get(1); v != 2 {
+		t.Fatal("ListOf Get")
+	}
+}
+
+func TestConcatLazy(t *testing.T) {
+	calls1, calls2 := 0, 0
+	a := NewLazyList(countingProducer(2, &calls1))
+	b := NewLazyList(countingProducer(3, &calls2))
+	c := Concat(a, b)
+	if calls1 != 0 || calls2 != 0 {
+		t.Fatal("Concat must not force")
+	}
+	if v, _ := c.Get(1); v != 1 {
+		t.Fatal("Concat first half")
+	}
+	if calls2 != 0 {
+		t.Fatal("second list forced early")
+	}
+	if v, _ := c.Get(3); v != 1 { // b's second element
+		t.Fatal("Concat second half")
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Concat Len = %d", c.Len())
+	}
+}
+
+// Property: for any sizes and probe index, Get(i) agrees with the eager
+// materialization and never forces more than i+1 elements.
+func TestLazyListProperty(t *testing.T) {
+	f := func(n uint8, probe uint8) bool {
+		size := int(n % 50)
+		i := int(probe % 60)
+		calls := 0
+		l := NewLazyList(countingProducer(size, &calls))
+		v, ok := l.Get(i)
+		if i < size {
+			if !ok || v != i {
+				return false
+			}
+			return calls == i+1
+		}
+		return !ok && calls == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElemAtomAndValue(t *testing.T) {
+	leaf := NewLeaf("&1", "42")
+	if a, ok := leaf.Atom(); !ok || a != "42" {
+		t.Fatal("leaf atom")
+	}
+	col := NewElem("&2", "id", ListOf(NewLeaf("", "XYZ")))
+	if a, ok := col.Atom(); !ok || a != "XYZ" {
+		t.Fatal("single-leaf-child atom")
+	}
+	multi := NewElem("&3", "customer", ListOf(NewLeaf("", "a"), NewLeaf("", "b")))
+	if _, ok := multi.Atom(); ok {
+		t.Fatal("multi-child atom must fail")
+	}
+	deep := NewElem("&4", "e", ListOf(NewElem("", "f", ListOf(NewLeaf("", "x")))))
+	if _, ok := deep.Atom(); ok {
+		t.Fatal("non-leaf child atom must fail")
+	}
+	if _, ok := leaf.Kids().Get(0); ok {
+		t.Fatal("leaf kids")
+	}
+	var nilElem *Elem
+	if !nilElem.IsLeaf() {
+		t.Fatal("nil elem is leaf-ish")
+	}
+	if _, ok := nilElem.Atom(); ok {
+		t.Fatal("nil atom")
+	}
+}
+
+func TestWithProvSharesKids(t *testing.T) {
+	base := NewElem("&1", "x", ListOf(NewLeaf("", "v")))
+	stamped := base.WithProv(&Provenance{Var: "$A"})
+	if stamped.Prov == nil || stamped.Prov.Var != "$A" {
+		t.Fatal("prov not set")
+	}
+	if base.Prov != nil {
+		t.Fatal("WithProv mutated the original")
+	}
+	a, _ := base.Kids().Get(0)
+	b, _ := stamped.Kids().Get(0)
+	if a != b {
+		t.Fatal("kids not shared (memoization would split)")
+	}
+}
+
+func TestTupleOperations(t *testing.T) {
+	schema := []xmas.Var{"$A", "$B"}
+	tp := NewTuple(schema, []Value{
+		NodeVal{E: NewLeaf("&a", "1")},
+		NodeVal{E: NewLeaf("&b", "2")},
+	})
+	if v, ok := tp.Get("$A"); !ok {
+		t.Fatal("Get")
+	} else if id, _ := idOf(v); id != "&a" {
+		t.Fatal("Get value")
+	}
+	if _, ok := tp.Get("$Z"); ok {
+		t.Fatal("Get unknown var")
+	}
+	ext := tp.Extend([]xmas.Var{"$A", "$B", "$C"}, NodeVal{E: NewLeaf("&c", "3")})
+	if len(ext.Schema()) != 3 {
+		t.Fatal("Extend")
+	}
+	proj := ext.Project([]xmas.Var{"$C", "$A"})
+	if proj.Schema()[0] != "$C" {
+		t.Fatal("Project order")
+	}
+	other := NewTuple([]xmas.Var{"$D"}, []Value{NodeVal{E: NewLeaf("&d", "4")}})
+	merged := tp.Merge([]xmas.Var{"$A", "$B", "$D"}, other)
+	if _, ok := merged.Get("$D"); !ok {
+		t.Fatal("Merge")
+	}
+	if tp.Key(schema) == other.Key([]xmas.Var{"$D"}) {
+		t.Fatal("Key collision")
+	}
+}
+
+func TestTupleArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch must panic")
+		}
+	}()
+	NewTuple([]xmas.Var{"$A"}, nil)
+}
+
+func TestMustGetPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet of unknown var must panic")
+		}
+	}()
+	tp := NewTuple(nil, nil)
+	tp.MustGet("$Z")
+}

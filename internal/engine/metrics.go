@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Metrics counts the tuples each operator kind produced during one
+// execution — the mediator-side work complement to the sources'
+// shipped-tuple counters. A Program runs with metrics when started via
+// RunWithMetrics; the zero cost of the disabled path keeps Run hot.
+type Metrics struct {
+	counts map[string]*atomic.Int64
+}
+
+// NewMetrics creates an empty metrics sink.
+func NewMetrics() *Metrics {
+	return &Metrics{counts: map[string]*atomic.Int64{}}
+}
+
+// counter returns the counter cell for an operator name, creating it.
+// Cells are created at compile/instrument time (single-goroutine), so the
+// map itself needs no lock at run time.
+func (m *Metrics) counter(op string) *atomic.Int64 {
+	c, ok := m.counts[op]
+	if !ok {
+		c = &atomic.Int64{}
+		m.counts[op] = c
+	}
+	return c
+}
+
+// Count returns the number of tuples an operator kind produced.
+func (m *Metrics) Count(op string) int64 {
+	if m == nil {
+		return 0
+	}
+	c, ok := m.counts[op]
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// Total returns the total number of tuples produced across all operators.
+func (m *Metrics) Total() int64 {
+	if m == nil {
+		return 0
+	}
+	var total int64
+	for _, c := range m.counts {
+		total += c.Load()
+	}
+	return total
+}
+
+// String renders the per-operator counts sorted by name.
+func (m *Metrics) String() string {
+	if m == nil {
+		return "(no metrics)"
+	}
+	names := make([]string, 0, len(m.counts))
+	for n := range m.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", n, m.counts[n].Load())
+	}
+	return b.String()
+}
+
+// countingCursor increments a counter per delivered tuple.
+type countingCursor struct {
+	in Cursor
+	c  *atomic.Int64
+}
+
+func (cc *countingCursor) Next() (Tuple, bool, error) {
+	t, ok, err := cc.in.Next()
+	if ok {
+		cc.c.Add(1)
+	}
+	return t, ok, err
+}
+
+// RunWithMetrics starts an execution whose operator outputs are counted.
+// The per-operator counters measure mediator-side evaluation work (how many
+// tuples each operator produced under demand), which the ablation analysis
+// reads alongside the sources' transfer counters.
+func (p *Program) RunWithMetrics() (*Result, *Metrics) {
+	m := NewMetrics()
+	ctx := NewCtx(p.cat)
+	ctx.metrics = m
+	var cur Cursor
+	var runErr error
+	seen := map[string]bool{}
+	kids := NewLazyList(func() (*Elem, bool) {
+		if runErr != nil {
+			return nil, false
+		}
+		if cur == nil {
+			cur = p.inner(ctx)
+		}
+		for {
+			t, ok, err := cur.Next()
+			if err != nil {
+				runErr = err
+				return nil, false
+			}
+			if !ok {
+				return nil, false
+			}
+			nv, isNode := t.MustGet(p.v).(NodeVal)
+			if !isNode || nv.E == nil {
+				continue
+			}
+			e := stampElem(nv.E, p.v)
+			if e.ID != "" {
+				if seen[e.ID] {
+					continue
+				}
+				seen[e.ID] = true
+			}
+			return e, true
+		}
+	})
+	root := NewElem(p.rootID, "list", kids)
+	return &Result{Root: root, err: &runErr}, m
+}

@@ -1,0 +1,77 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"mix/internal/engine"
+	"mix/internal/translate"
+	"mix/internal/workload"
+	"mix/internal/xquery"
+)
+
+func TestRunWithMetrics(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	tr := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	prog, err := engine.Compile(tr.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, m := prog.RunWithMetrics()
+
+	// Before navigation: nothing produced anywhere.
+	if m.Total() != 0 {
+		t.Fatalf("metrics before navigation: %s", m)
+	}
+	res.Materialize()
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The join produces one tuple per matching (customer, order): 3.
+	if got := m.Count("join"); got != 3 {
+		t.Fatalf("join produced %d tuples, want 3; all: %s", got, m)
+	}
+	// Two groups.
+	if got := m.Count("gBy"); got != 2 {
+		t.Fatalf("gBy produced %d, want 2; all: %s", got, m)
+	}
+	// Sources: 2 customers + 4 orders through mkSrc.
+	if got := m.Count("mkSrc"); got != 6 {
+		t.Fatalf("mkSrc produced %d, want 6; all: %s", got, m)
+	}
+	if !strings.Contains(m.String(), "crElt=") {
+		t.Fatalf("rendering: %s", m)
+	}
+	if m.Total() == 0 {
+		t.Fatal("total")
+	}
+}
+
+func TestRunWithMetricsPartialNavigation(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	tr := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	prog, err := engine.Compile(tr.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, m := prog.RunWithMetrics()
+	res.Root.Kids().Get(0) // first CustRec only
+	partial := m.Total()
+	if partial == 0 {
+		t.Fatal("navigation produced no work")
+	}
+	res.Materialize()
+	if m.Total() <= partial {
+		t.Fatalf("full materialization should add work: %d then %d", partial, m.Total())
+	}
+}
+
+func TestNilMetricsSafe(t *testing.T) {
+	var m *engine.Metrics
+	if m.Count("x") != 0 || m.Total() != 0 {
+		t.Fatal("nil metrics must be inert")
+	}
+	if m.String() == "" {
+		t.Fatal("nil metrics rendering")
+	}
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"fmt"
+
+	"mix/internal/source"
+	"mix/internal/xmas"
+	"mix/internal/xtree"
+)
+
+// Program is a compiled XMAS plan, ready to run. Compilation resolves
+// sources and validates the plan; Run is cheap and produces a fresh virtual
+// result document each time.
+type Program struct {
+	plan   xmas.Op
+	inner  compiledOp
+	v      xmas.Var
+	rootID string
+	cat    *source.Catalog
+}
+
+// Compile validates and compiles a plan. The plan must be rooted at tD
+// (every XMAS plan ends with the tuple-destroy operator, paper operator 9).
+func Compile(plan xmas.Op, cat *source.Catalog) (*Program, error) {
+	if err := xmas.Validate(plan); err != nil {
+		return nil, err
+	}
+	td, ok := plan.(*xmas.TD)
+	if !ok {
+		return nil, fmt.Errorf("engine: plan root must be tD, got %s", plan.Name())
+	}
+	inner, err := compile(td.In, cat)
+	if err != nil {
+		return nil, err
+	}
+	rootID := td.RootID
+	if rootID == "" {
+		rootID = "&result"
+	}
+	if rootID != "" && rootID[0] != '&' {
+		rootID = "&" + rootID
+	}
+	return &Program{plan: plan, inner: inner, v: td.V, rootID: rootID, cat: cat}, nil
+}
+
+// Plan returns the plan the program was compiled from.
+func (p *Program) Plan() xmas.Op { return p.plan }
+
+// Result is the virtual answer document of a query: a root element labeled
+// "list" whose children materialize only as navigation reaches them.
+type Result struct {
+	Root *Elem
+	err  *error
+}
+
+// Run starts an execution. No source is contacted until the result's root
+// children are first navigated.
+func (p *Program) Run() *Result {
+	ctx := NewCtx(p.cat)
+	var cur Cursor
+	var runErr error
+	seen := map[string]bool{}
+	kids := NewLazyList(func() (*Elem, bool) {
+		if runErr != nil {
+			return nil, false
+		}
+		if cur == nil {
+			cur = p.inner(ctx)
+		}
+		for {
+			t, ok, err := cur.Next()
+			if err != nil {
+				runErr = err
+				return nil, false
+			}
+			if !ok {
+				return nil, false
+			}
+			nv, isNode := t.MustGet(p.v).(NodeVal)
+			if !isNode || nv.E == nil {
+				continue
+			}
+			e := stampElem(nv.E, p.v)
+			if e.ID != "" {
+				if seen[e.ID] {
+					continue
+				}
+				seen[e.ID] = true
+			}
+			return e, true
+		}
+	})
+	root := NewElem(p.rootID, "list", kids)
+	return &Result{Root: root, err: &runErr}
+}
+
+// Err reports an error encountered while forcing the result. Cursor errors
+// surface as truncated child lists; callers that need to distinguish check
+// Err after navigation. (The QDOM layer re-checks it on every step.)
+func (r *Result) Err() error {
+	if r.err == nil {
+		return nil
+	}
+	return *r.err
+}
+
+// Materialize forces the whole result into a plain tree — the behaviour of
+// conventional mediators that "compute and return the full result of the
+// user query" (paper Section 1). The eager baseline and tests use it.
+func (r *Result) Materialize() *xtree.Node {
+	return r.Root.Materialize()
+}
+
+// CompileFragment compiles a non-tD subplan into a cursor factory — a
+// diagnostic hook for tests that need to observe intermediate operator
+// output.
+func CompileFragment(op xmas.Op, cat *source.Catalog) (func() Cursor, error) {
+	c, err := compile(op, cat)
+	if err != nil {
+		return nil, err
+	}
+	return func() Cursor { return c(NewCtx(cat)) }, nil
+}

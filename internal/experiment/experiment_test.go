@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+)
+
+func cell(t *testing.T, tab Table, row int, col string) int64 {
+	t.Helper()
+	for i, h := range tab.Header {
+		if h == col {
+			v, err := strconv.ParseInt(tab.Rows[row][i], 10, 64)
+			if err != nil {
+				t.Fatalf("cell %s[%d]: %v", col, row, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no column %s", col)
+	return 0
+}
+
+// TestLazyVsEagerShape: the lazy side must ship strictly less than eager for
+// small browse fractions, and shipping must grow with k.
+func TestLazyVsEagerShape(t *testing.T) {
+	tab := LazyVsEager([]int{60}, 3, []int{1, 10, 60})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	eager := cell(t, tab, 0, "eager_shipped")
+	prev := int64(0)
+	for i := range tab.Rows {
+		lazy := cell(t, tab, i, "lazy_shipped")
+		if lazy < prev {
+			t.Fatalf("lazy shipping not monotone in k: %v", tab.Rows)
+		}
+		prev = lazy
+		if e := cell(t, tab, i, "eager_shipped"); e != eager {
+			t.Fatalf("eager shipping must not depend on k: %v", tab.Rows)
+		}
+	}
+	if k1 := cell(t, tab, 0, "lazy_shipped"); k1*10 > eager {
+		t.Fatalf("browsing 1 of 60 should ship ≪ eager: lazy=%d eager=%d", k1, eager)
+	}
+	// Browsing everything approaches (but never exceeds) the eager cost.
+	if all := cell(t, tab, 2, "lazy_shipped"); all > eager {
+		t.Fatalf("lazy shipped more than eager: %d > %d", all, eager)
+	}
+}
+
+// TestCompositionShape: the optimized composition ships less than naive, and
+// its cost falls as the predicate gets more selective.
+func TestCompositionShape(t *testing.T) {
+	tab := Composition([]int{60}, []int64{10000, 90000})
+	loose := cell(t, tab, 0, "optimized_shipped")
+	tight := cell(t, tab, 1, "optimized_shipped")
+	if tight > loose {
+		t.Fatalf("selectivity must reduce optimized shipping: %d vs %d", tight, loose)
+	}
+	for i := range tab.Rows {
+		naive := cell(t, tab, i, "naive_shipped")
+		opt := cell(t, tab, i, "optimized_shipped")
+		if opt >= naive {
+			t.Fatalf("row %d: optimized (%d) must ship less than naive (%d)", i, opt, naive)
+		}
+	}
+}
+
+// TestDecontextShape: decontextualization's shipping stays bounded by the
+// single customer's data while materialization grows with subtree size.
+func TestDecontextShape(t *testing.T) {
+	tab := Decontext(40, []int{2, 20})
+	small := cell(t, tab, 0, "mat_shipped")
+	big := cell(t, tab, 1, "mat_shipped")
+	if big <= small {
+		t.Fatalf("materialization cost must grow with orders/cust: %d vs %d", big, small)
+	}
+	for i := range tab.Rows {
+		if d, m := cell(t, tab, i, "decon_shipped"), cell(t, tab, i, "mat_shipped"); d > m {
+			t.Fatalf("row %d: decontextualization shipped more (%d) than materialization (%d)", i, d, m)
+		}
+	}
+}
+
+// TestGroupByShape: reaching the first group costs O(group) with the
+// presorted gBy and O(everything) with the stateful one.
+func TestGroupByShape(t *testing.T) {
+	tab := GroupBy([]int{40}, 4)
+	pre := cell(t, tab, 0, "shipped_first_group")
+	full := cell(t, tab, 1, "shipped_first_group")
+	if pre*4 > full {
+		t.Fatalf("presorted (%d) should ship ≪ stateful (%d) for the first group", pre, full)
+	}
+}
+
+// TestAblationShape: the full pipeline ships the least; removing SQL
+// pushdown hurts the most.
+func TestAblationShape(t *testing.T) {
+	tab := Ablation(60)
+	byName := map[string]int64{}
+	for i, row := range tab.Rows {
+		byName[row[0]] = cell(t, tab, i, "shipped")
+	}
+	full := byName["full"]
+	for name, shipped := range byName {
+		if name == "full" {
+			continue
+		}
+		if shipped < full {
+			t.Fatalf("%s ships less (%d) than the full pipeline (%d)", name, shipped, full)
+		}
+	}
+	if byName["no-sql-pushdown"] <= full {
+		t.Fatal("disabling SQL pushdown should hurt")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := Table{
+		Title:  "demo",
+		Note:   "note",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"xxxxx", "y"}},
+	}
+	s := tab.String()
+	for _, want := range []string{"== demo ==", "note", "xxxxx", "bbbb"} {
+		if !containsLine(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func containsLine(s, sub string) bool {
+	for _, line := range splitLines(s) {
+		if len(line) >= len(sub) && indexOf(line, sub) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

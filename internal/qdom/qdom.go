@@ -1,0 +1,216 @@
+// Package qdom implements the Queriable Document Object Model of paper
+// Section 2: DOM-style navigation (d, r, fl, fv) over the virtual answer
+// documents the engine produces, plus the provenance decoding that lets a
+// query be issued from any visited node (the q command; the composition
+// itself lives in internal/compose and the mix facade).
+//
+// The non-materialization of the answer is transparent: a Node behaves like
+// a node of a main-memory document, but its children are produced — and
+// source data fetched — only when navigation reaches them.
+package qdom
+
+import (
+	"mix/internal/engine"
+	"mix/internal/xmas"
+	"mix/internal/xtree"
+)
+
+// Origin records how a document was produced: the XMAS plan (rooted at tD)
+// and the variable tags of its translation. In-place queries need both.
+type Origin struct {
+	Plan xmas.Op
+	Tags map[xmas.Var]string
+}
+
+// Document is a virtual answer document.
+type Document struct {
+	res    *engine.Result
+	origin *Origin
+}
+
+// NewDocument wraps an engine result. origin may be nil for documents that
+// do not support in-place queries (e.g. materialized snapshots).
+func NewDocument(res *engine.Result, origin *Origin) *Document {
+	return &Document{res: res, origin: origin}
+}
+
+// Origin returns the producing plan information, or nil.
+func (d *Document) Origin() *Origin { return d.origin }
+
+// Err reports any error the underlying execution hit while navigating.
+func (d *Document) Err() error { return d.res.Err() }
+
+// Root returns the root node of the virtual document.
+func (d *Document) Root() *Node {
+	return &Node{doc: d, e: d.res.Root, isRoot: true}
+}
+
+// Materialize forces the entire document (the conventional-mediator
+// behaviour MIX avoids; used by tests and printing).
+func (d *Document) Materialize() *xtree.Node { return d.res.Root.Materialize() }
+
+// Node is one vertex of a virtual document. The zero value is not useful;
+// Nodes come from Document.Root and navigation.
+type Node struct {
+	doc    *Document
+	e      *engine.Elem
+	parent *Node
+	idx    int // index among parent's children
+	isRoot bool
+}
+
+// Down implements the d command: the first child, or nil for a leaf
+// (the paper's ⊥).
+func (n *Node) Down() *Node {
+	if n == nil {
+		return nil
+	}
+	kids := n.e.Kids()
+	if kids == nil {
+		return nil
+	}
+	e, ok := kids.Get(0)
+	if !ok {
+		return nil
+	}
+	return &Node{doc: n.doc, e: e, parent: n, idx: 0}
+}
+
+// Up returns the parent node, or nil at the root. (Not part of the paper's
+// minimal command set, but DOM navigation includes it and the interactive
+// browser needs it; it costs nothing since navigation tracks the path.)
+func (n *Node) Up() *Node {
+	if n == nil {
+		return nil
+	}
+	return n.parent
+}
+
+// Right implements the r command: the next sibling, or nil.
+func (n *Node) Right() *Node {
+	if n == nil || n.parent == nil {
+		return nil
+	}
+	e, ok := n.parent.e.Kids().Get(n.idx + 1)
+	if !ok {
+		return nil
+	}
+	return &Node{doc: n.doc, e: e, parent: n.parent, idx: n.idx + 1}
+}
+
+// Child returns the i-th child, forcing production up to it.
+func (n *Node) Child(i int) *Node {
+	if n == nil {
+		return nil
+	}
+	kids := n.e.Kids()
+	if kids == nil {
+		return nil
+	}
+	e, ok := kids.Get(i)
+	if !ok {
+		return nil
+	}
+	return &Node{doc: n.doc, e: e, parent: n, idx: i}
+}
+
+// Label implements the fl command.
+func (n *Node) Label() string {
+	if n == nil {
+		return ""
+	}
+	return n.e.Label
+}
+
+// Value implements the fv command: the value of a leaf, or ok=false
+// (the paper's ⊥ for non-leaves).
+func (n *Node) Value() (string, bool) {
+	if n == nil {
+		return "", false
+	}
+	return n.e.Value()
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n == nil || n.e.IsLeaf() }
+
+// ID returns the node's object id (possibly a skolem id, Figure 7).
+func (n *Node) ID() string {
+	if n == nil {
+		return ""
+	}
+	return n.e.ID
+}
+
+// IsRoot reports whether this is the document root (queries from it compose
+// without fixations).
+func (n *Node) IsRoot() bool { return n != nil && n.isRoot }
+
+// Doc returns the document the node belongs to.
+func (n *Node) Doc() *Document {
+	if n == nil {
+		return nil
+	}
+	return n.doc
+}
+
+// Context is the decoded position information an in-place query needs
+// (paper Section 5): the variable the node was bound to before tD, its tag,
+// and the group-by fixations of the node and all enclosing nodes.
+type Context struct {
+	Var      xmas.Var
+	Fixed    []engine.Fixation
+	FromRoot bool
+}
+
+// Context decodes the node id's provenance, accumulating the fixations of
+// every enclosing node on the navigation path (the paper encodes "the values
+// of the group-by attributes associated with the nodes that enclose the
+// given node in the result"). ok is false when the node was not bound to any
+// variable (e.g. a deep source node), in which case the mediator falls back
+// to materializing the subtree.
+func (n *Node) Context() (Context, bool) {
+	if n == nil {
+		return Context{}, false
+	}
+	if n.isRoot {
+		return Context{FromRoot: true}, true
+	}
+	if n.e.Prov == nil {
+		return Context{}, false
+	}
+	var fixed []engine.Fixation
+	seen := map[xmas.Var]bool{}
+	// Own fixations first, then ancestors'; first occurrence of a variable
+	// wins (the innermost enclosing group).
+	for cur := n; cur != nil && !cur.isRoot; cur = cur.parent {
+		if cur.e.Prov == nil {
+			continue
+		}
+		for _, f := range cur.e.Prov.Fixed {
+			if seen[f.Var] {
+				continue
+			}
+			seen[f.Var] = true
+			fixed = append(fixed, f)
+		}
+	}
+	return Context{Var: n.e.Prov.Var, Fixed: fixed}, true
+}
+
+// Materialize forces the subtree below the node.
+func (n *Node) Materialize() *xtree.Node {
+	if n == nil {
+		return nil
+	}
+	return n.e.Materialize()
+}
+
+// Elem exposes the underlying engine element (internal consumers: compose,
+// the mediator facade).
+func (n *Node) Elem() *engine.Elem {
+	if n == nil {
+		return nil
+	}
+	return n.e
+}

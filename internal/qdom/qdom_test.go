@@ -1,0 +1,241 @@
+package qdom_test
+
+import (
+	"testing"
+
+	"mix/internal/engine"
+	"mix/internal/qdom"
+	"mix/internal/translate"
+	"mix/internal/workload"
+	"mix/internal/xquery"
+)
+
+func viewDoc(t *testing.T) *qdom.Document {
+	t.Helper()
+	cat, _ := workload.PaperCatalog()
+	tr := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	prog, err := engine.Compile(tr.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qdom.NewDocument(prog.Run(), &qdom.Origin{Plan: tr.Plan, Tags: tr.Tags})
+}
+
+// TestNavigationCommands exercises the QDOM commands of paper Section 2
+// (d, r, fl, fv) against the running example, mirroring Example 2.1's
+// navigation sequence.
+func TestNavigationCommands(t *testing.T) {
+	doc := viewDoc(t)
+	p0 := doc.Root()
+	if !p0.IsRoot() {
+		t.Fatal("root must report IsRoot")
+	}
+	if p0.Label() != "list" {
+		t.Fatalf("fl(p0) = %q", p0.Label())
+	}
+	if _, ok := p0.Value(); ok {
+		t.Fatal("fv on non-leaf must be ⊥")
+	}
+
+	p1 := p0.Down()
+	if p1.Label() != "CustRec" || p1.IsRoot() {
+		t.Fatalf("d(p0): %q", p1.Label())
+	}
+	p2 := p1.Right()
+	if p2 == nil || p2.Label() != "CustRec" {
+		t.Fatal("r(p1)")
+	}
+	if p2.Right() != nil {
+		t.Fatal("r(p2) must be ⊥ (two customers)")
+	}
+	p3 := p1.Down()
+	if p3.Label() != "customer" {
+		t.Fatalf("d(p1) = %q", p3.Label())
+	}
+	// Sibling walk inside CustRec: customer then OrderInfo(s).
+	p4 := p3.Right()
+	if p4 == nil || p4.Label() != "OrderInfo" {
+		t.Fatalf("r(p3) = %v", p4)
+	}
+	// Leaf access.
+	leaf := p3.Down().Down()
+	if leaf == nil || !leaf.IsLeaf() {
+		t.Fatal("descend to value leaf")
+	}
+	if v, ok := leaf.Value(); !ok || v != "DEF345" {
+		t.Fatalf("fv = %q (first CustRec is DEF345 in key order)", v)
+	}
+	if leaf.Down() != nil {
+		t.Fatal("d(leaf) must be ⊥")
+	}
+	if doc.Err() != nil {
+		t.Fatal(doc.Err())
+	}
+}
+
+func TestChildIndexing(t *testing.T) {
+	doc := viewDoc(t)
+	rec := doc.Root().Child(1)
+	if rec == nil || rec.Label() != "CustRec" {
+		t.Fatal("Child(1)")
+	}
+	// XYZ123's CustRec has customer + 2 OrderInfo.
+	if rec.Child(2) == nil || rec.Child(3) != nil {
+		t.Fatal("Child bounds")
+	}
+	if doc.Root().Child(99) != nil {
+		t.Fatal("out-of-range child")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var n *qdom.Node
+	if n.Down() != nil || n.Right() != nil || n.Label() != "" || n.ID() != "" {
+		t.Fatal("nil node navigation must stay nil/empty")
+	}
+	if _, ok := n.Value(); ok {
+		t.Fatal("nil node value")
+	}
+	if _, ok := n.Context(); ok {
+		t.Fatal("nil node context")
+	}
+	if !n.IsLeaf() {
+		t.Fatal("nil node IsLeaf")
+	}
+}
+
+// TestContextAccumulatesEnclosingFixations: per paper Section 5, the id
+// information includes "the values of the group-by attributes associated
+// with the nodes that enclose the given node".
+func TestContextAccumulatesEnclosingFixations(t *testing.T) {
+	doc := viewDoc(t)
+	rec := doc.Root().Down().Right() // XYZ123 CustRec
+	oi := rec.Down().Right()         // first OrderInfo
+	if oi.Label() != "OrderInfo" {
+		t.Fatalf("navigated to %q", oi.Label())
+	}
+	ctx, ok := oi.Context()
+	if !ok {
+		t.Fatal("OrderInfo should decode a context")
+	}
+	if ctx.Var != "$V" {
+		t.Fatalf("provenance var = %s", ctx.Var)
+	}
+	vars := map[string]string{}
+	for _, f := range ctx.Fixed {
+		vars[string(f.Var)] = f.ID
+	}
+	if vars["$C"] != "&XYZ123" {
+		t.Fatalf("enclosing fixation $C missing: %+v", ctx.Fixed)
+	}
+	if _, hasO := vars["$O"]; !hasO {
+		t.Fatalf("own fixation $O missing: %+v", ctx.Fixed)
+	}
+}
+
+func TestContextOfBoundSourceNode(t *testing.T) {
+	doc := viewDoc(t)
+	cust := doc.Root().Down().Down() // customer element, bound to $C
+	ctx, ok := cust.Context()
+	if !ok {
+		t.Fatal("customer node should decode a context")
+	}
+	if ctx.Var != "$C" {
+		t.Fatalf("provenance var = %s", ctx.Var)
+	}
+}
+
+func TestContextOfDeepSourceNode(t *testing.T) {
+	doc := viewDoc(t)
+	// id element inside customer: wrapped source node without provenance.
+	idElem := doc.Root().Down().Down().Down()
+	if idElem.Label() != "id" {
+		t.Fatalf("navigated to %q", idElem.Label())
+	}
+	if _, ok := idElem.Context(); ok {
+		t.Fatal("deep source nodes have no decodable context (fallback path)")
+	}
+}
+
+func TestRootContext(t *testing.T) {
+	doc := viewDoc(t)
+	ctx, ok := doc.Root().Context()
+	if !ok || !ctx.FromRoot {
+		t.Fatalf("root context = %+v, %v", ctx, ok)
+	}
+}
+
+func TestMaterializeSubtree(t *testing.T) {
+	doc := viewDoc(t)
+	rec := doc.Root().Down()
+	m := rec.Materialize()
+	if m.Label != "CustRec" || m.Find("customer") == nil {
+		t.Fatalf("materialized subtree: %s", m)
+	}
+}
+
+// TestLazyRightDoesNotForceSiblingSubtrees: navigating right across
+// children must not force the content of the skipped subtrees beyond what
+// group detection needs.
+func TestLazyRightDoesNotForceSiblings(t *testing.T) {
+	cat, db := workload.PaperCatalog()
+	tr := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	prog, err := engine.Compile(tr.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := qdom.NewDocument(prog.Run(), nil)
+	db.ResetStats()
+	p := doc.Root().Down()
+	first := db.Stats().TuplesShipped
+	if first == 0 {
+		t.Fatal("first navigation shipped nothing")
+	}
+	_ = p.Right()
+	second := db.Stats().TuplesShipped
+	total := int64(6) // 2 customers + 4 orders is everything there is
+	if second > total {
+		t.Fatalf("shipped %d > table sizes", second)
+	}
+	t.Logf("shipped after d=%d, after r=%d", first, second)
+}
+
+func TestDocumentAccessors(t *testing.T) {
+	doc := viewDoc(t)
+	if doc.Origin() == nil || doc.Origin().Tags["$C"] != "customer" {
+		t.Fatal("origin accessor")
+	}
+	n := doc.Root().Down()
+	if n.Doc() != doc {
+		t.Fatal("Doc accessor")
+	}
+	if n.Elem() == nil || n.Elem().Label != "CustRec" {
+		t.Fatal("Elem accessor")
+	}
+	m := doc.Materialize()
+	if m.Label != "list" {
+		t.Fatal("document materialize")
+	}
+	if doc.Err() != nil {
+		t.Fatal(doc.Err())
+	}
+}
+
+func TestUpNavigation(t *testing.T) {
+	doc := viewDoc(t)
+	leaf := doc.Root().Down().Down().Down().Down()
+	if !leaf.IsLeaf() {
+		t.Fatalf("expected a leaf, got %q", leaf.Label())
+	}
+	path := []string{}
+	for n := leaf; n != nil; n = n.Up() {
+		path = append(path, n.Label())
+	}
+	// value leaf, id, customer, CustRec, list — five levels.
+	if len(path) != 5 || path[3] != "CustRec" || path[4] != "list" {
+		t.Fatalf("up path = %v", path)
+	}
+	if doc.Root().Up() != nil {
+		t.Fatal("Up at root must be nil")
+	}
+}

@@ -1,0 +1,127 @@
+// Package relstore is the in-memory relational database substrate that plays
+// the role of the paper's underlying relational sources. It offers exactly
+// the capabilities the paper assumes of such sources (Section 1): it accepts
+// an SQL query and returns a cursor that delivers result tuples one at a
+// time ("relational databases support a basic form of partial result
+// evaluation"), and nothing more — in particular no context mechanism, which
+// is why the mediator needs decontextualization.
+//
+// Every tuple a cursor ships is counted, so the experiments can measure the
+// mediator↔source transfer that MIX's lazy evaluation and query pushdown
+// minimize.
+package relstore
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type is a column type.
+type Type int
+
+// The supported column types.
+const (
+	TInt Type = iota
+	TFloat
+	TString
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	default:
+		return "STRING"
+	}
+}
+
+// Datum is one typed value. The zero Datum is the empty string.
+type Datum struct {
+	Kind Type
+	I    int64
+	F    float64
+	S    string
+}
+
+// Int makes an integer datum.
+func Int(v int64) Datum { return Datum{Kind: TInt, I: v} }
+
+// Float makes a float datum.
+func Float(v float64) Datum { return Datum{Kind: TFloat, F: v} }
+
+// Str makes a string datum.
+func Str(v string) Datum { return Datum{Kind: TString, S: v} }
+
+// String renders the datum's value (not its type).
+func (d Datum) String() string {
+	switch d.Kind {
+	case TInt:
+		return strconv.FormatInt(d.I, 10)
+	case TFloat:
+		return strconv.FormatFloat(d.F, 'g', -1, 64)
+	default:
+		return d.S
+	}
+}
+
+// Compare orders two datums. Numeric kinds compare numerically with each
+// other; strings compare lexicographically; a numeric and a string compare
+// via the string form of the number (matching xtree.CompareValues so that
+// pushed-down and mediator-evaluated predicates agree).
+func Compare(a, b Datum) int {
+	an, aok := a.numeric()
+	bn, bok := b.numeric()
+	if aok && bok {
+		switch {
+		case an < bn:
+			return -1
+		case an > bn:
+			return 1
+		default:
+			return 0
+		}
+	}
+	as, bs := a.String(), b.String()
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (d Datum) numeric() (float64, bool) {
+	switch d.Kind {
+	case TInt:
+		return float64(d.I), true
+	case TFloat:
+		return d.F, true
+	default:
+		f, err := strconv.ParseFloat(d.S, 64)
+		return f, err == nil
+	}
+}
+
+// ParseDatum converts a literal string to a datum of the column type.
+func ParseDatum(t Type, s string) (Datum, error) {
+	switch t {
+	case TInt:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Datum{}, fmt.Errorf("relstore: %q is not an integer", s)
+		}
+		return Int(v), nil
+	case TFloat:
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Datum{}, fmt.Errorf("relstore: %q is not a float", s)
+		}
+		return Float(v), nil
+	default:
+		return Str(s), nil
+	}
+}

@@ -1,0 +1,172 @@
+package relstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func custSchema() Schema {
+	return Schema{
+		Relation: "customer",
+		Columns: []Column{
+			{Name: "id", Type: TString},
+			{Name: "name", Type: TString},
+			{Name: "balance", Type: TInt},
+		},
+		Key: []int{0},
+	}
+}
+
+func TestCreateAndInsert(t *testing.T) {
+	db := NewDB("test")
+	if _, err := db.Create(custSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("customer", []Datum{Str("A"), Str("Alice"), Int(10)}); err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := db.Table("customer")
+	if !ok || len(tab.Rows) != 1 {
+		t.Fatalf("table lookup: %v %v", ok, tab)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	db := NewDB("test")
+	if _, err := db.Create(Schema{Relation: "empty"}); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := db.Create(Schema{Relation: "badkey", Columns: []Column{{Name: "a", Type: TInt}}, Key: []int{5}}); err == nil {
+		t.Error("out-of-range key accepted")
+	}
+	db.MustCreate(custSchema())
+	if _, err := db.Create(custSchema()); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	db := NewDB("test")
+	db.MustCreate(custSchema())
+	if err := db.Insert("nope", []Datum{Str("x")}); err == nil {
+		t.Error("insert into unknown relation accepted")
+	}
+	if err := db.Insert("customer", []Datum{Str("A")}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := db.Insert("customer", []Datum{Str("A"), Str("B"), Str("oops")}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestRelations(t *testing.T) {
+	db := NewDB("test")
+	db.MustCreate(Schema{Relation: "zzz", Columns: []Column{{Name: "a", Type: TInt}}})
+	db.MustCreate(Schema{Relation: "aaa", Columns: []Column{{Name: "a", Type: TInt}}})
+	got := db.Relations()
+	if len(got) != 2 || got[0] != "aaa" || got[1] != "zzz" {
+		t.Fatalf("Relations = %v", got)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	db := NewDB("test")
+	db.NoteQuery()
+	db.NoteShipped(7)
+	db.NoteShipped(3)
+	s := db.Stats()
+	if s.QueriesReceived != 1 || s.TuplesShipped != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+	db.ResetStats()
+	if s := db.Stats(); s.QueriesReceived != 0 || s.TuplesShipped != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+}
+
+func TestSchemaColIndex(t *testing.T) {
+	s := custSchema()
+	if s.ColIndex("name") != 1 || s.ColIndex("missing") != -1 {
+		t.Fatal("ColIndex")
+	}
+}
+
+func TestDatumString(t *testing.T) {
+	cases := map[string]Datum{
+		"42":    Int(42),
+		"-7":    Int(-7),
+		"2.5":   Float(2.5),
+		"hello": Str("hello"),
+	}
+	for want, d := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestDatumCompare(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{Int(2), Int(10), -1},
+		{Int(10), Float(10.0), 0},
+		{Float(2.5), Int(2), 1},
+		{Str("2"), Int(10), -1}, // numeric string vs int: numeric
+		{Str("abc"), Str("abd"), -1},
+		{Str("abc"), Int(5), 1}, // "abc" > "5" lexicographically
+	}
+	for i, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Compare = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestParseDatum(t *testing.T) {
+	if d, err := ParseDatum(TInt, "42"); err != nil || d.I != 42 {
+		t.Errorf("ParseDatum int: %v %v", d, err)
+	}
+	if d, err := ParseDatum(TFloat, "2.5"); err != nil || d.F != 2.5 {
+		t.Errorf("ParseDatum float: %v %v", d, err)
+	}
+	if d, err := ParseDatum(TString, "x"); err != nil || d.S != "x" {
+		t.Errorf("ParseDatum string: %v %v", d, err)
+	}
+	if _, err := ParseDatum(TInt, "abc"); err == nil {
+		t.Error("ParseDatum accepted a non-integer")
+	}
+	if _, err := ParseDatum(TFloat, "abc"); err == nil {
+		t.Error("ParseDatum accepted a non-float")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TInt.String() != "INT" || TFloat.String() != "FLOAT" || TString.String() != "STRING" {
+		t.Fatal("type names")
+	}
+}
+
+// Property: Compare is antisymmetric and reflexive over int datums, and
+// agrees with native ordering.
+func TestCompareProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		da, dbm := Int(int64(a)), Int(int64(b))
+		c1, c2 := Compare(da, dbm), Compare(dbm, da)
+		if c1 != -c2 {
+			return false
+		}
+		switch {
+		case a < b:
+			return c1 == -1
+		case a > b:
+			return c1 == 1
+		default:
+			return c1 == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema describes a relation: its name, columns, and the positions of the
+// key columns (the wrapper derives tuple object ids from them, Figure 2).
+type Schema struct {
+	Relation string
+	Columns  []Column
+	Key      []int
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table is one relation with its rows.
+type Table struct {
+	Schema Schema
+	Rows   [][]Datum
+}
+
+// DB is one relational server: a named set of tables plus transfer counters.
+// It is safe for concurrent readers once loaded.
+type DB struct {
+	Name string
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	tuplesShipped   atomic.Int64
+	queriesReceived atomic.Int64
+}
+
+// NewDB creates an empty server.
+func NewDB(name string) *DB {
+	return &DB{Name: name, tables: map[string]*Table{}}
+}
+
+// Create adds an empty table. It returns an error if the relation exists,
+// the schema has no columns, or a key position is out of range.
+func (db *DB) Create(s Schema) (*Table, error) {
+	if len(s.Columns) == 0 {
+		return nil, fmt.Errorf("relstore: relation %s has no columns", s.Relation)
+	}
+	for _, k := range s.Key {
+		if k < 0 || k >= len(s.Columns) {
+			return nil, fmt.Errorf("relstore: relation %s key position %d out of range", s.Relation, k)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[s.Relation]; exists {
+		return nil, fmt.Errorf("relstore: relation %s already exists", s.Relation)
+	}
+	t := &Table{Schema: s}
+	db.tables[s.Relation] = t
+	return t, nil
+}
+
+// MustCreate is Create that panics on error; for fixtures.
+func (db *DB) MustCreate(s Schema) *Table {
+	t, err := db.Create(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Insert appends a row after checking arity and types.
+func (db *DB) Insert(relation string, row []Datum) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[relation]
+	if !ok {
+		return fmt.Errorf("relstore: unknown relation %s", relation)
+	}
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("relstore: relation %s expects %d values, got %d",
+			relation, len(t.Schema.Columns), len(row))
+	}
+	for i, d := range row {
+		if d.Kind != t.Schema.Columns[i].Type {
+			return fmt.Errorf("relstore: relation %s column %s expects %s, got %s",
+				relation, t.Schema.Columns[i].Name, t.Schema.Columns[i].Type, d.Kind)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for fixtures.
+func (db *DB) MustInsert(relation string, row ...Datum) {
+	if err := db.Insert(relation, row); err != nil {
+		panic(err)
+	}
+}
+
+// Table returns the named table.
+func (db *DB) Table(relation string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[relation]
+	return t, ok
+}
+
+// Relations lists the relation names, sorted.
+func (db *DB) Relations() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats is a snapshot of the server's transfer counters.
+type Stats struct {
+	TuplesShipped   int64 // rows delivered through cursors
+	QueriesReceived int64 // SQL queries executed
+}
+
+// Stats snapshots the counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		TuplesShipped:   db.tuplesShipped.Load(),
+		QueriesReceived: db.queriesReceived.Load(),
+	}
+}
+
+// ResetStats zeroes the counters (between experiment runs).
+func (db *DB) ResetStats() {
+	db.tuplesShipped.Store(0)
+	db.queriesReceived.Store(0)
+}
+
+// NoteQuery records that one query arrived; the executor calls it.
+func (db *DB) NoteQuery() { db.queriesReceived.Add(1) }
+
+// NoteShipped records rows delivered to the mediator; cursors call it.
+func (db *DB) NoteShipped(n int64) { db.tuplesShipped.Add(n) }
+
+// Cursor delivers result rows one at a time — the pipelined partial-result
+// interface the paper assumes of relational sources.
+type Cursor interface {
+	// Next returns the next row, or ok=false when exhausted.
+	Next() (row []Datum, ok bool)
+	// Close releases the cursor. Closing twice is allowed.
+	Close()
+}

@@ -1,0 +1,186 @@
+// Package rewrite is the MIX rewriting optimizer (paper Section 6 and Table
+// 2). It simplifies composed query/view plans by unfolding path expressions
+// against the element constructors of the view, detecting unsatisfiable
+// paths, pushing selections and getD operators toward the sources,
+// introducing joins to unnest nested plans (Table 2 rule 9), eliminating the
+// construction of objects the query never uses (live-variable analysis),
+// converting joins whose one side is only tested for existence into
+// semi-joins, and pushing semi-joins below grouping (rule 12) so they reach
+// the sources.
+//
+// Each rewriting step is local: only the part of the plan matching the
+// search pattern changes, plus possibly a plan-wide variable renaming —
+// exactly the rewriter contract the paper describes.
+package rewrite
+
+import (
+	"fmt"
+
+	"mix/internal/xmas"
+)
+
+// Step records one applied rewrite for tracing (the Figure 13→21 golden test
+// replays the trace).
+type Step struct {
+	Rule string
+	Plan string // plan rendering after the step
+}
+
+// Options tune the optimizer; the zero value enables everything. The
+// ablation experiment (E14) disables groups of rules.
+type Options struct {
+	NoUnfold       bool // disable crElt/cat/apply path unfolding (rules 1-9)
+	NoPushdown     bool // disable select/getD pushdown
+	NoDeadElim     bool // disable live-variable elimination and join→semijoin
+	NoSemijoinPush bool // disable semijoin-below-groupBy (rule 12)
+	MaxSteps       int  // safety bound; 0 means the 10000 default
+
+	// ChildLabels declares, per element label, the EXHAUSTIVE set of child
+	// element labels. Wrapper relation labels qualify (a tuple element's
+	// children are exactly its columns). When present it enables the
+	// schema-unsat rule — the paper's §6 remark that source schema
+	// knowledge "can be included easily by adding additional rewrite
+	// rules". Labels absent from the map stay unconstrained.
+	ChildLabels map[string][]string
+}
+
+// Optimize rewrites the plan to a fixpoint and returns the optimized plan
+// and the applied-step trace. The input plan is not mutated.
+func Optimize(plan xmas.Op, opts Options) (xmas.Op, []Step, error) {
+	if err := xmas.Validate(plan); err != nil {
+		return nil, nil, fmt.Errorf("rewrite: input plan invalid: %w", err)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 10000
+	}
+	cur := xmas.Clone(plan)
+	var trace []Step
+	rules := ruleSet(opts)
+	for steps := 0; ; {
+		changed := false
+		// Structural rules to fixpoint.
+		for {
+			next, name, ok := applyFirst(cur, rules)
+			if !ok {
+				break
+			}
+			cur = next
+			trace = append(trace, Step{Rule: name, Plan: xmas.Format(cur)})
+			changed = true
+			steps++
+			if steps > maxSteps {
+				return nil, trace, fmt.Errorf("rewrite: exceeded %d steps (rule loop?)", maxSteps)
+			}
+		}
+		// Live-variable elimination and join→semijoin.
+		if !opts.NoDeadElim {
+			next, fired := eliminateDead(cur)
+			if fired {
+				cur = next
+				trace = append(trace, Step{Rule: "dead-elim", Plan: xmas.Format(cur)})
+				changed = true
+				steps++
+				continue
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if err := xmas.Validate(cur); err != nil {
+		return nil, trace, fmt.Errorf("rewrite: produced invalid plan: %w", err)
+	}
+	return cur, trace, nil
+}
+
+// MustOptimize panics on error; fixtures and benchmarks.
+func MustOptimize(plan xmas.Op, opts Options) xmas.Op {
+	out, _, err := Optimize(plan, opts)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// rule is one rewrite rule. It fires at a specific site; renames apply to
+// the whole plan afterwards ("the only change made in the rest of the plan
+// ... is the possible renaming of variables").
+type rule struct {
+	name  string
+	apply func(st *state, op xmas.Op) (xmas.Op, map[xmas.Var]xmas.Var, bool)
+}
+
+// state carries plan-wide context a rule may need (fresh-name generation).
+type state struct {
+	taken map[xmas.Var]bool
+}
+
+func ruleSet(opts Options) []rule {
+	var rules []rule
+	rules = append(rules, rule{"empty-prop", ruleEmptyProp})
+	if len(opts.ChildLabels) > 0 {
+		rules = append(rules, rule{"schema-unsat", makeSchemaUnsat(opts.ChildLabels)})
+	}
+	if !opts.NoUnfold {
+		rules = append(rules,
+			rule{"view-unfold(11)", ruleViewUnfold},
+			rule{"elt-self(2)", ruleEltSelf},
+			rule{"elt-unsat(4)", ruleEltUnsat},
+			rule{"elt-unfold(1)", ruleEltUnfold},
+			rule{"cat-unfold(7)", ruleCatUnfold},
+			rule{"apply-unfold(9)", ruleApplyUnfold},
+		)
+	}
+	if !opts.NoPushdown {
+		rules = append(rules,
+			rule{"getD-pushdown(6)", ruleGetDPushdown},
+			rule{"select-pushdown", ruleSelectPushdown},
+		)
+	}
+	if !opts.NoSemijoinPush {
+		rules = append(rules, rule{"semijoin-below-gBy(12)", ruleSemijoinPush})
+	}
+	return rules
+}
+
+// applyFirst walks the plan in pre-order (including nested apply plans and
+// mkSrc view inputs) and applies the first matching rule at the first
+// matching site, rebuilding the spine above it.
+func applyFirst(root xmas.Op, rules []rule) (xmas.Op, string, bool) {
+	st := &state{taken: xmas.AllVars(root)}
+	newRoot, name, ren, fired := tryAt(st, root, rules)
+	if !fired {
+		return root, "", false
+	}
+	if len(ren) > 0 {
+		newRoot = xmas.Rename(newRoot, ren)
+	}
+	return newRoot, name, true
+}
+
+func tryAt(st *state, op xmas.Op, rules []rule) (xmas.Op, string, map[xmas.Var]xmas.Var, bool) {
+	for _, r := range rules {
+		if out, ren, ok := r.apply(st, op); ok {
+			return out, r.name, ren, true
+		}
+	}
+	// Recurse: nested apply plan first, then inputs in order.
+	if a, ok := op.(*xmas.Apply); ok {
+		if sub, name, ren, fired := tryAt(st, a.Plan, rules); fired {
+			c := *a
+			c.Plan = sub
+			return &c, name, ren, true
+		}
+	}
+	ins := op.Inputs()
+	for i, in := range ins {
+		if sub, name, ren, fired := tryAt(st, in, rules); fired {
+			newIns := make([]xmas.Op, len(ins))
+			copy(newIns, ins)
+			newIns[i] = sub
+			return op.WithInputs(newIns...), name, ren, true
+		}
+	}
+	return op, "", nil, false
+}

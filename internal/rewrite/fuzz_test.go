@@ -1,0 +1,76 @@
+package rewrite_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mix/internal/compose"
+	"mix/internal/engine"
+	"mix/internal/rewrite"
+	"mix/internal/sqlgen"
+	"mix/internal/translate"
+	"mix/internal/workload"
+	"mix/internal/xmas"
+	"mix/internal/xquery"
+	"mix/internal/xtree"
+)
+
+// TestRandomizedEquivalence generates random (valid) queries over the Q1
+// view, composes them naively, optimizes and pushes them, and requires the
+// three executable forms to agree on the paper database — a randomized
+// soundness check over the whole Table 2 rule set plus SQL generation.
+func TestRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020707))
+	view := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	origin := &compose.OriginPlan{Plan: view.Plan, Tags: view.Tags}
+
+	const trials = 120
+	for trial := 0; trial < trials; trial++ {
+		src := workload.RandomViewQuery(rng)
+		q, err := xquery.Parse(src)
+		if err != nil {
+			t.Fatalf("generator produced an unparsable query:\n%s\n%v", src, err)
+		}
+		naive, err := compose.NaiveCompose(origin, q, "rootv", "res")
+		if err != nil {
+			t.Fatalf("naive compose of\n%s\n%v", src, err)
+		}
+		opt, _, err := rewrite.Optimize(naive.Plan, rewrite.Options{})
+		if err != nil {
+			t.Fatalf("optimize of\n%s\n%v", src, err)
+		}
+
+		baseline := runPlan(t, src, naive.Plan)
+		optimized := runPlan(t, src, opt)
+		if !xtree.EqualShape(baseline, optimized) {
+			t.Fatalf("optimized diverged for\n%s\nnaive:\n%s\noptimized plan:\n%s\ngot:\n%s",
+				src, baseline.Pretty(), xmas.Format(opt), optimized.Pretty())
+		}
+
+		cat, _ := workload.PaperCatalog()
+		pushed, err := sqlgen.Push(opt, cat)
+		if err != nil {
+			t.Fatalf("push of\n%s\n%v", src, err)
+		}
+		pushedRes := runPlan(t, src, pushed)
+		if !xtree.EqualShape(baseline, pushedRes) {
+			t.Fatalf("pushed diverged for\n%s\nnaive:\n%s\npushed plan:\n%s\ngot:\n%s",
+				src, baseline.Pretty(), xmas.Format(pushed), pushedRes.Pretty())
+		}
+	}
+}
+
+func runPlan(t *testing.T, src string, plan xmas.Op) *xtree.Node {
+	t.Helper()
+	cat, _ := workload.PaperCatalog()
+	prog, err := engine.Compile(plan, cat)
+	if err != nil {
+		t.Fatalf("compile of\n%s\n%v\nplan:\n%s", src, err, xmas.Format(plan))
+	}
+	res := prog.Run()
+	m := res.Materialize()
+	if err := res.Err(); err != nil {
+		t.Fatalf("run of\n%s\n%v", src, err)
+	}
+	return m
+}

@@ -1,0 +1,223 @@
+package rewrite
+
+import "mix/internal/xmas"
+
+// eliminateDead performs the live-variable analysis of paper Section 6:
+// "all operators which create bindings which are not used by the query can
+// simply be removed", and a join whose one side is only tested for existence
+// "can be converted into a semi-join" (Figures 19→20). It returns the
+// rebuilt plan and whether anything changed.
+func eliminateDead(root xmas.Op) (xmas.Op, bool) {
+	td, ok := root.(*xmas.TD)
+	if !ok {
+		return root, false
+	}
+	live := map[xmas.Var]bool{td.V: true}
+	in, changed := elim(td.In, live)
+	if !changed {
+		return root, false
+	}
+	return td.WithInputs(in), true
+}
+
+func addVars(live map[xmas.Var]bool, vars ...xmas.Var) map[xmas.Var]bool {
+	out := map[xmas.Var]bool{}
+	for v := range live {
+		out[v] = true
+	}
+	for _, v := range vars {
+		out[v] = true
+	}
+	return out
+}
+
+func without(live map[xmas.Var]bool, v xmas.Var) map[xmas.Var]bool {
+	out := map[xmas.Var]bool{}
+	for k := range live {
+		if k != v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func restrict(live map[xmas.Var]bool, schema []xmas.Var) map[xmas.Var]bool {
+	out := map[xmas.Var]bool{}
+	for _, v := range schema {
+		if live[v] {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// elim rebuilds op under the live set, dropping constructors whose outputs
+// are dead and converting existence-only joins to semi-joins.
+func elim(op xmas.Op, live map[xmas.Var]bool) (xmas.Op, bool) {
+	switch o := op.(type) {
+	case *xmas.CrElt:
+		if !live[o.Out] {
+			in, _ := elim(o.In, live)
+			return in, true
+		}
+		in, ch := elim(o.In, addVars(without(live, o.Out), append(append([]xmas.Var{}, o.GroupVars...), o.Children.V)...))
+		if !ch {
+			return op, false
+		}
+		return o.WithInputs(in), true
+	case *xmas.Cat:
+		if !live[o.Out] {
+			in, _ := elim(o.In, live)
+			return in, true
+		}
+		in, ch := elim(o.In, addVars(without(live, o.Out), o.X.V, o.Y.V))
+		if !ch {
+			return op, false
+		}
+		return o.WithInputs(in), true
+	case *xmas.Apply:
+		if !live[o.Out] {
+			in, _ := elim(o.In, live)
+			return in, true
+		}
+		in, ch1 := elim(o.In, addVars(without(live, o.Out), o.InpVar))
+		plan, ch2 := elimNested(o.Plan)
+		if !ch1 && !ch2 {
+			return op, false
+		}
+		c := *o
+		c.In = in
+		c.Plan = plan
+		return &c, true
+	case *xmas.GroupBy:
+		if !live[o.Out] {
+			// Grouping whose partition is unused reduces to duplicate-
+			// eliminating projection on the keys.
+			in, _ := elim(o.In, addVarsEmpty(o.Keys))
+			return &xmas.Project{In: in, Vars: append([]xmas.Var{}, o.Keys...)}, true
+		}
+		// The partition carries whole input tuples; every input variable
+		// stays live (nested plans may read any of them).
+		in, ch := elim(o.In, addVarsEmpty(o.In.Schema()))
+		if !ch {
+			return op, false
+		}
+		return o.WithInputs(in), true
+	case *xmas.GetD:
+		// getD filters tuples without matches, so it stays even when its
+		// output is dead.
+		in, ch := elim(o.In, addVars(without(live, o.Out), o.From))
+		if !ch {
+			return op, false
+		}
+		return o.WithInputs(in), true
+	case *xmas.Select:
+		in, ch := elim(o.In, addVars(live, o.Cond.Vars()...))
+		if !ch {
+			return op, false
+		}
+		return o.WithInputs(in), true
+	case *xmas.Project:
+		in, ch := elim(o.In, addVarsEmpty(o.Vars))
+		if !ch {
+			return op, false
+		}
+		return o.WithInputs(in), true
+	case *xmas.OrderBy:
+		in, ch := elim(o.In, addVars(live, o.Vars...))
+		if !ch {
+			return op, false
+		}
+		return o.WithInputs(in), true
+	case *xmas.Join:
+		var condVars []xmas.Var
+		if o.Cond != nil {
+			condVars = o.Cond.Vars()
+		}
+		lSchema, rSchema := o.L.Schema(), o.R.Schema()
+		lLive := restrict(live, lSchema)
+		rLive := restrict(live, rSchema)
+		// Existence-only sides become semi-joins.
+		if o.Cond != nil {
+			if len(lLive) == 0 {
+				l, _ := elim(o.L, addVarsEmpty(condVarsIn(condVars, lSchema)))
+				r, _ := elim(o.R, addVars(rLive, condVarsIn(condVars, rSchema)...))
+				return &xmas.SemiJoin{L: l, R: r, Cond: o.Cond, Keep: xmas.KeepRight}, true
+			}
+			if len(rLive) == 0 {
+				l, _ := elim(o.L, addVars(lLive, condVarsIn(condVars, lSchema)...))
+				r, _ := elim(o.R, addVarsEmpty(condVarsIn(condVars, rSchema)))
+				return &xmas.SemiJoin{L: l, R: r, Cond: o.Cond, Keep: xmas.KeepLeft}, true
+			}
+		}
+		l, ch1 := elim(o.L, addVars(lLive, condVarsIn(condVars, lSchema)...))
+		r, ch2 := elim(o.R, addVars(rLive, condVarsIn(condVars, rSchema)...))
+		if !ch1 && !ch2 {
+			return op, false
+		}
+		return o.WithInputs(l, r), true
+	case *xmas.SemiJoin:
+		var condVars []xmas.Var
+		if o.Cond != nil {
+			condVars = o.Cond.Vars()
+		}
+		lSchema, rSchema := o.L.Schema(), o.R.Schema()
+		var lLive, rLive map[xmas.Var]bool
+		if o.Keep == xmas.KeepLeft {
+			lLive = addVars(restrict(live, lSchema), condVarsIn(condVars, lSchema)...)
+			rLive = addVarsEmpty(condVarsIn(condVars, rSchema))
+		} else {
+			lLive = addVarsEmpty(condVarsIn(condVars, lSchema))
+			rLive = addVars(restrict(live, rSchema), condVarsIn(condVars, rSchema)...)
+		}
+		l, ch1 := elim(o.L, lLive)
+		r, ch2 := elim(o.R, rLive)
+		if !ch1 && !ch2 {
+			return op, false
+		}
+		return o.WithInputs(l, r), true
+	case *xmas.MkSrc:
+		if o.In == nil {
+			return op, false
+		}
+		in, ch := elimNested(o.In)
+		if !ch {
+			return op, false
+		}
+		c := *o
+		c.In = in
+		return &c, true
+	}
+	return op, false
+}
+
+// elimNested runs the analysis on a tD-rooted (nested or view) plan.
+func elimNested(plan xmas.Op) (xmas.Op, bool) {
+	td, ok := plan.(*xmas.TD)
+	if !ok {
+		return plan, false
+	}
+	in, ch := elim(td.In, map[xmas.Var]bool{td.V: true})
+	if !ch {
+		return plan, false
+	}
+	return td.WithInputs(in), true
+}
+
+func addVarsEmpty(vars []xmas.Var) map[xmas.Var]bool {
+	out := map[xmas.Var]bool{}
+	for _, v := range vars {
+		out[v] = true
+	}
+	return out
+}
+
+func condVarsIn(vars []xmas.Var, schema []xmas.Var) []xmas.Var {
+	var out []xmas.Var
+	for _, v := range vars {
+		if xmas.HasVar(schema, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"mix/internal/xmas"
+	"mix/internal/xtree"
+)
+
+// Hand-built fragments for rule-level tests.
+
+func mkCust() xmas.Op {
+	return &xmas.GetD{
+		In:   &xmas.MkSrc{SrcID: "&root1", Out: "$doc"},
+		From: "$doc", Path: xmas.ParsePath("customer"), Out: "$C",
+	}
+}
+
+func optimizeOnce(t *testing.T, plan xmas.Op, ruleName string) (xmas.Op, bool) {
+	t.Helper()
+	out, name, fired := applyFirst(plan, ruleSet(Options{}))
+	if !fired {
+		return plan, false
+	}
+	if name != ruleName {
+		t.Fatalf("fired %q, want %q\n%s", name, ruleName, xmas.Format(out))
+	}
+	return out, true
+}
+
+func TestRuleEltSelf(t *testing.T) {
+	cr := &xmas.CrElt{
+		In: mkCust(), Label: "Rec", SkolemFn: "f", GroupVars: []xmas.Var{"$C"},
+		Children: xmas.ChildSpec{V: "$C", Wrap: true}, Out: "$V",
+	}
+	plan := &xmas.TD{
+		In: &xmas.GetD{In: cr, From: "$V", Path: xmas.ParsePath("Rec"), Out: "$R"},
+		V:  "$R",
+	}
+	out, fired := optimizeOnce(t, plan, "elt-self(2)")
+	if !fired {
+		t.Fatal("rule 2 did not fire")
+	}
+	// $R renamed to $V: the tD now collects $V and the getD is gone.
+	if out.(*xmas.TD).V != "$V" {
+		t.Fatalf("tD var = %s", out.(*xmas.TD).V)
+	}
+	if strings.Contains(xmas.Format(out), "getD($V.Rec") {
+		t.Fatalf("getD survived:\n%s", xmas.Format(out))
+	}
+}
+
+func TestRuleEltUnsat(t *testing.T) {
+	cr := &xmas.CrElt{
+		In: mkCust(), Label: "Rec", SkolemFn: "f", GroupVars: []xmas.Var{"$C"},
+		Children: xmas.ChildSpec{V: "$C", Wrap: true}, Out: "$V",
+	}
+	plan := &xmas.TD{
+		In: &xmas.GetD{In: cr, From: "$V", Path: xmas.ParsePath("Other.x"), Out: "$R"},
+		V:  "$R",
+	}
+	out, fired := optimizeOnce(t, plan, "elt-unsat(4)")
+	if !fired {
+		t.Fatal("rule 4 did not fire")
+	}
+	if _, ok := out.(*xmas.TD).In.(*xmas.Empty); !ok {
+		t.Fatalf("expected empty plan:\n%s", xmas.Format(out))
+	}
+}
+
+func TestRuleEltUnfoldWrapped(t *testing.T) {
+	// crElt with list($C): the path continues directly at the child.
+	cr := &xmas.CrElt{
+		In: mkCust(), Label: "Rec", SkolemFn: "f", GroupVars: []xmas.Var{"$C"},
+		Children: xmas.ChildSpec{V: "$C", Wrap: true}, Out: "$V",
+	}
+	plan := &xmas.TD{
+		In: &xmas.GetD{In: cr, From: "$V", Path: xmas.ParsePath("Rec.customer.name"), Out: "$N"},
+		V:  "$N",
+	}
+	out, fired := optimizeOnce(t, plan, "elt-unfold(1)")
+	if !fired {
+		t.Fatal("rule 1 did not fire")
+	}
+	if !strings.Contains(xmas.Format(out), "getD($C.customer.name -> $N)") {
+		t.Fatalf("unfolded path wrong:\n%s", xmas.Format(out))
+	}
+}
+
+func TestRuleEmptyPropagation(t *testing.T) {
+	empty := &xmas.Empty{Vars: []xmas.Var{"$A", "$1"}}
+	cond := xmas.NewVarVarCond("$1", xtree.OpEQ, "$2")
+	plan := &xmas.TD{
+		In: &xmas.Join{
+			L:    empty,
+			R:    &xmas.GetD{In: mkCust(), From: "$C", Path: xmas.ParsePath("customer.id"), Out: "$2"},
+			Cond: &cond,
+		},
+		V: "$C",
+	}
+	out, fired := optimizeOnce(t, plan, "empty-prop")
+	if !fired {
+		t.Fatal("empty propagation did not fire")
+	}
+	opt, _, err := Optimize(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := opt.(*xmas.TD).In.(*xmas.Empty); !ok {
+		t.Fatalf("join over empty should collapse:\n%s", xmas.Format(opt))
+	}
+	_ = out
+}
+
+func TestSelectPushesThroughGroupByKeys(t *testing.T) {
+	gb := &xmas.GroupBy{In: mkCust(), Keys: []xmas.Var{"$C"}, Out: "$X"}
+	plan := &xmas.TD{
+		In: &xmas.Select{In: gb, Cond: xmas.NewVarConstCond("$C", xtree.OpEQ, "&XYZ123")},
+		V:  "$X",
+	}
+	opt, _, err := Optimize(plan, Options{NoDeadElim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := xmas.Format(opt)
+	idx1 := strings.Index(got, "gBy")
+	idx2 := strings.Index(got, "select")
+	if idx2 < idx1 {
+		t.Fatalf("select should sit below gBy:\n%s", got)
+	}
+}
+
+func TestSelectDoesNotCrossNonKeyGroupBy(t *testing.T) {
+	// Selection on the partition variable cannot go below the gBy.
+	gb := &xmas.GroupBy{In: mkCust(), Keys: []xmas.Var{"$doc"}, Out: "$X"}
+	cr := &xmas.CrElt{
+		In: gb, Label: "G", SkolemFn: "f", GroupVars: []xmas.Var{"$doc"},
+		Children: xmas.ChildSpec{V: "$doc", Wrap: true}, Out: "$V",
+	}
+	plan := &xmas.TD{
+		In: &xmas.Select{In: cr, Cond: xmas.NewVarConstCond("$V", xtree.OpEQ, "x")},
+		V:  "$V",
+	}
+	opt, _, err := Optimize(plan, Options{NoDeadElim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := xmas.Format(opt)
+	// select($V...) must remain above crElt (which defines $V).
+	if strings.Index(got, "select") > strings.Index(got, "crElt") {
+		t.Fatalf("selection crossed its defining operator:\n%s", got)
+	}
+}
+
+func TestGetDPushesIntoJoinBranch(t *testing.T) {
+	cond := xmas.NewVarVarCond("$1", xtree.OpEQ, "$2")
+	join := &xmas.Join{
+		L:    &xmas.GetD{In: mkCust(), From: "$C", Path: xmas.ParsePath("customer.id"), Out: "$1"},
+		R:    &xmas.GetD{In: &xmas.GetD{In: &xmas.MkSrc{SrcID: "&root2", Out: "$d2"}, From: "$d2", Path: xmas.ParsePath("orders"), Out: "$O"}, From: "$O", Path: xmas.ParsePath("orders.cid"), Out: "$2"},
+		Cond: &cond,
+	}
+	plan := &xmas.TD{
+		In: &xmas.GetD{In: join, From: "$C", Path: xmas.ParsePath("customer.name"), Out: "$N"},
+		V:  "$N",
+	}
+	opt, _, err := Optimize(plan, Options{NoDeadElim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := xmas.Format(opt)
+	joinLine, getdLine := -1, -1
+	for i, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "join(") && joinLine < 0 {
+			joinLine = i
+		}
+		if strings.Contains(line, "customer.name") {
+			getdLine = i
+		}
+	}
+	if getdLine < joinLine {
+		t.Fatalf("getD should have moved into the join branch:\n%s", got)
+	}
+}
+
+func TestDeadElimDropsConstructors(t *testing.T) {
+	// A crElt and a cat whose outputs nothing consumes vanish.
+	cr := &xmas.CrElt{
+		In: mkCust(), Label: "Junk", SkolemFn: "f", GroupVars: []xmas.Var{"$C"},
+		Children: xmas.ChildSpec{V: "$C", Wrap: true}, Out: "$J",
+	}
+	cat := &xmas.Cat{In: cr, X: xmas.ChildSpec{V: "$J", Wrap: true}, Y: xmas.ChildSpec{V: "$J", Wrap: true}, Out: "$K"}
+	plan := &xmas.TD{In: cat, V: "$C"}
+	opt, _, err := Optimize(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := xmas.Format(opt)
+	if strings.Contains(got, "crElt") || strings.Contains(got, "cat(") {
+		t.Fatalf("dead constructors survived:\n%s", got)
+	}
+}
+
+func TestDeadElimConvertsGroupByToProject(t *testing.T) {
+	gb := &xmas.GroupBy{In: mkCust(), Keys: []xmas.Var{"$C"}, Out: "$X"}
+	plan := &xmas.TD{In: gb, V: "$C"} // partition $X unused
+	opt, _, err := Optimize(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := xmas.Format(opt)
+	if !strings.Contains(got, "project($C)") {
+		t.Fatalf("unused gBy should become a key projection:\n%s", got)
+	}
+}
+
+func TestJoinBecomesSemijoinWhenSideIsDead(t *testing.T) {
+	cond := xmas.NewVarVarCond("$1", xtree.OpEQ, "$2")
+	join := &xmas.Join{
+		L:    &xmas.GetD{In: mkCust(), From: "$C", Path: xmas.ParsePath("customer.id"), Out: "$1"},
+		R:    &xmas.GetD{In: &xmas.GetD{In: &xmas.MkSrc{SrcID: "&root2", Out: "$d2"}, From: "$d2", Path: xmas.ParsePath("orders"), Out: "$O"}, From: "$O", Path: xmas.ParsePath("orders.cid"), Out: "$2"},
+		Cond: &cond,
+	}
+	plan := &xmas.TD{In: join, V: "$C"} // right side only tested for existence
+	opt, _, err := Optimize(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := xmas.Format(opt)
+	if !strings.Contains(got, "semijoin") {
+		t.Fatalf("existence-only join should become a semi-join:\n%s", got)
+	}
+}
+
+func TestLabelsOfVar(t *testing.T) {
+	cust := mkCust()
+	if labels, ok := labelsOfVar(cust, "$C"); !ok || len(labels) != 1 || labels[0] != "customer" {
+		t.Fatalf("labels($C) = %v, %v", labels, ok)
+	}
+	cr := &xmas.CrElt{
+		In: cust, Label: "Rec", SkolemFn: "f", GroupVars: []xmas.Var{"$C"},
+		Children: xmas.ChildSpec{V: "$C", Wrap: true}, Out: "$V",
+	}
+	if labels, ok := labelsOfVar(cr, "$V"); !ok || labels[0] != "Rec" {
+		t.Fatalf("labels($V) = %v, %v", labels, ok)
+	}
+	cat := &xmas.Cat{In: cr, X: xmas.ChildSpec{V: "$C", Wrap: true}, Y: xmas.ChildSpec{V: "$V", Wrap: true}, Out: "$W"}
+	labels, ok := labelsOfVar(cat, "$W")
+	if !ok || len(labels) != 2 {
+		t.Fatalf("labels($W) = %v, %v", labels, ok)
+	}
+	if _, ok := labelsOfVar(cust, "$nope"); ok {
+		t.Fatal("unknown var must be unknown")
+	}
+	wildcard := &xmas.GetD{In: cust, From: "$C", Path: xmas.Path{"customer", xmas.Wildcard}, Out: "$X"}
+	if _, ok := labelsOfVar(wildcard, "$X"); ok {
+		t.Fatal("wildcard tail must be unknown")
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	// A plan big enough that MaxSteps=1 trips the guard.
+	plan := naivePlanForGuard()
+	_, _, err := Optimize(plan, Options{MaxSteps: 1})
+	if err == nil {
+		t.Fatal("MaxSteps guard did not trip")
+	}
+}
+
+func naivePlanForGuard() xmas.Op {
+	cr := &xmas.CrElt{
+		In: mkCust(), Label: "Rec", SkolemFn: "f", GroupVars: []xmas.Var{"$C"},
+		Children: xmas.ChildSpec{V: "$C", Wrap: true}, Out: "$V",
+	}
+	return &xmas.TD{
+		In: &xmas.GetD{
+			In:   &xmas.GetD{In: cr, From: "$V", Path: xmas.ParsePath("Rec.customer"), Out: "$A"},
+			From: "$A", Path: xmas.ParsePath("customer.name"), Out: "$N",
+		},
+		V: "$N",
+	}
+}

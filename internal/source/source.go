@@ -1,0 +1,262 @@
+// Package source is the mediator's catalog of underlying sources. MIX
+// integrates two kinds (paper Architecture section): XML documents, which
+// support navigation, and relational databases, which accept SQL and return
+// cursors but "do not support any form of issuing queries from within a
+// context created by queries and visited tuples".
+//
+// The catalog resolves the document ids that appear in queries (&root1,
+// &db1.customer, ...) to sources and reports the capability and provenance
+// information the optimizer needs to push work down.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mix/internal/relstore"
+	"mix/internal/sqlexec"
+	"mix/internal/wrapper"
+	"mix/internal/xtree"
+)
+
+// ElemCursor delivers the top-level elements of a source document one at a
+// time (the mediator-side view of a source cursor).
+type ElemCursor interface {
+	Next() (*xtree.Node, bool, error)
+	Close()
+}
+
+// Doc is one resolvable source document.
+type Doc interface {
+	// RootID is the object id of the document root.
+	RootID() string
+	// Open returns a cursor over the root's children.
+	Open() (ElemCursor, error)
+}
+
+// RelBinding records that a document id is a wrapper view of a relation.
+type RelBinding struct {
+	Server   string
+	Relation string
+	Schema   relstore.Schema
+}
+
+// Catalog maps document ids to sources. It is safe for concurrent use:
+// queries resolve documents while in-place-query fallbacks register
+// temporary ones.
+type Catalog struct {
+	mu      sync.RWMutex
+	docs    map[string]Doc
+	relDBs  map[string]*relstore.DB
+	relDocs map[string]RelBinding
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		docs:    map[string]Doc{},
+		relDBs:  map[string]*relstore.DB{},
+		relDocs: map[string]RelBinding{},
+	}
+}
+
+// AddXMLDoc registers an in-memory XML document under srcID. If the node's
+// own id is empty it is set to srcID.
+func (c *Catalog) AddXMLDoc(srcID string, root *xtree.Node) {
+	if root.ID == "" {
+		root.ID = xtree.ID(srcID)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.docs[srcID] = &xmlDoc{id: srcID, root: root}
+}
+
+// AddRelDB registers every relation of db as a virtual document
+// "&<server>.<relation>" and the server itself for SQL shipping.
+func (c *Catalog) AddRelDB(db *relstore.DB) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.relDBs[db.Name] = db
+	for _, rel := range db.Relations() {
+		t, _ := db.Table(rel)
+		id := wrapper.RootID(db.Name, rel)
+		c.docs[id] = &relDoc{id: id, db: db, schema: t.Schema}
+		c.relDocs[id] = RelBinding{Server: db.Name, Relation: rel, Schema: t.Schema}
+	}
+}
+
+// AddDoc registers an arbitrary document implementation — the hook through
+// which a MIX mediator can serve as a source to another MIX mediator (paper
+// Section 4: "a MIX mediator can be such a source to another MIX mediator").
+func (c *Catalog) AddDoc(srcID string, d Doc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.docs[srcID] = d
+}
+
+// Alias makes alias resolve to the same source as target (so a view can call
+// the customer relation "&root1" as the paper's figures do).
+func (c *Catalog) Alias(alias, target string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[target]
+	if !ok {
+		return fmt.Errorf("source: alias target %s not registered", target)
+	}
+	c.docs[alias] = d
+	if rb, ok := c.relDocs[target]; ok {
+		c.relDocs[alias] = rb
+	}
+	return nil
+}
+
+// Resolve returns the document registered under srcID.
+func (c *Catalog) Resolve(srcID string) (Doc, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[srcID]
+	if !ok {
+		return nil, fmt.Errorf("source: unknown document %s", srcID)
+	}
+	return d, nil
+}
+
+// RelBindingFor reports whether srcID is a wrapper view of a relation.
+func (c *Catalog) RelBindingFor(srcID string) (RelBinding, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rb, ok := c.relDocs[srcID]
+	return rb, ok
+}
+
+// RelDB returns the relational server registered under name.
+func (c *Catalog) RelDB(server string) (*relstore.DB, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	db, ok := c.relDBs[server]
+	return db, ok
+}
+
+// DocIDs lists the registered document ids, sorted (diagnostics).
+func (c *Catalog) DocIDs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.docs))
+	for id := range c.docs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats aggregates the transfer counters of every relational server.
+func (c *Catalog) Stats() relstore.Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total relstore.Stats
+	for _, db := range c.relDBs {
+		s := db.Stats()
+		total.TuplesShipped += s.TuplesShipped
+		total.QueriesReceived += s.QueriesReceived
+	}
+	return total
+}
+
+// ResetStats zeroes every relational server's counters.
+func (c *Catalog) ResetStats() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, db := range c.relDBs {
+		db.ResetStats()
+	}
+}
+
+// ---- XML documents ----
+
+type xmlDoc struct {
+	id   string
+	root *xtree.Node
+}
+
+func (d *xmlDoc) RootID() string { return d.id }
+
+func (d *xmlDoc) Open() (ElemCursor, error) {
+	return &sliceCursor{items: d.root.Children}, nil
+}
+
+type sliceCursor struct {
+	items []*xtree.Node
+	pos   int
+}
+
+func (s *sliceCursor) Next() (*xtree.Node, bool, error) {
+	if s.pos >= len(s.items) {
+		return nil, false, nil
+	}
+	n := s.items[s.pos]
+	s.pos++
+	return n, true, nil
+}
+
+func (s *sliceCursor) Close() {}
+
+// ---- relational documents (wrapper views) ----
+
+type relDoc struct {
+	id     string
+	db     *relstore.DB
+	schema relstore.Schema
+}
+
+func (d *relDoc) RootID() string { return d.id }
+
+// Open ships the unconstrained scan "SELECT cols FROM rel ORDER BY key" —
+// what source access costs when nothing has been pushed down — and rebuilds
+// tuple objects from rows as they are pulled.
+func (d *relDoc) Open() (ElemCursor, error) {
+	q := scanSQL(d.schema)
+	cur, _, err := sqlexec.ExecSQL(d.db, q)
+	if err != nil {
+		return nil, fmt.Errorf("source: scanning %s: %w", d.id, err)
+	}
+	return &relCursor{schema: d.schema, cur: cur}, nil
+}
+
+func scanSQL(s relstore.Schema) string {
+	q := "SELECT "
+	for i, col := range s.Columns {
+		if i > 0 {
+			q += ", "
+		}
+		q += col.Name
+	}
+	q += " FROM " + s.Relation
+	for i, k := range s.Key {
+		if i == 0 {
+			q += " ORDER BY "
+		} else {
+			q += ", "
+		}
+		q += s.Columns[k].Name
+	}
+	return q
+}
+
+type relCursor struct {
+	schema  relstore.Schema
+	cur     relstore.Cursor
+	ordinal int
+}
+
+func (r *relCursor) Next() (*xtree.Node, bool, error) {
+	row, ok := r.cur.Next()
+	if !ok {
+		return nil, false, nil
+	}
+	elem := wrapper.TupleElem(r.schema, row, r.ordinal)
+	r.ordinal++
+	return elem, true, nil
+}
+
+func (r *relCursor) Close() { r.cur.Close() }

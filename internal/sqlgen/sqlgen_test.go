@@ -1,0 +1,399 @@
+package sqlgen_test
+
+import (
+	"strings"
+	"testing"
+
+	"mix/internal/compose"
+	"mix/internal/engine"
+	"mix/internal/rewrite"
+	"mix/internal/sqlgen"
+	"mix/internal/sqlparse"
+	"mix/internal/translate"
+	"mix/internal/workload"
+	"mix/internal/xmas"
+	"mix/internal/xquery"
+	"mix/internal/xtree"
+)
+
+// optimizedFig21 builds the rewritten composition of Figure 12's query with
+// the Q1 view (the Figure 21 plan).
+func optimizedFig21(t *testing.T) xmas.Op {
+	t.Helper()
+	view := translate.MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	q := xquery.MustParse(workload.Fig12)
+	naive, err := compose.NaiveCompose(&compose.OriginPlan{Plan: view.Plan, Tags: view.Tags}, q, "rootv", "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := rewrite.Optimize(naive.Plan, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opt
+}
+
+// TestFigure22SQL is the golden test for paper Figure 22: the optimized
+// composition splits into a mediator part (tD, crElt, cat, apply, presorted
+// gBy) and a single SQL query combining the view's join, the query's
+// selection as a semi-join self-join, and an ORDER BY for the stateless
+// group-by.
+func TestFigure22SQL(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	pushed, err := sqlgen.Push(optimizedFig21(t), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly one relQuery leaf.
+	var rqs []*xmas.RelQuery
+	xmas.Walk(pushed, func(op xmas.Op) bool {
+		if rq, ok := op.(*xmas.RelQuery); ok {
+			rqs = append(rqs, rq)
+		}
+		return true
+	})
+	if len(rqs) != 1 {
+		t.Fatalf("want 1 relQuery, got %d:\n%s", len(rqs), xmas.Format(pushed))
+	}
+	rq := rqs[0]
+	if rq.Server != "db1" {
+		t.Errorf("server = %q", rq.Server)
+	}
+
+	sel, err := sqlparse.Parse(rq.SQL)
+	if err != nil {
+		t.Fatalf("generated SQL does not parse: %v\n%s", err, rq.SQL)
+	}
+	// Figure 22's FROM list: customer and orders twice each (self-join for
+	// the semi-join).
+	counts := map[string]int{}
+	for _, tr := range sel.From {
+		counts[tr.Relation]++
+	}
+	if counts["customer"] != 2 || counts["orders"] != 2 {
+		t.Errorf("FROM list = %v, want customer×2, orders×2\nSQL: %s", sel.From, rq.SQL)
+	}
+	// The predicates of Figure 22: two join conditions, the key
+	// correlation, and the pushed selection.
+	wantPreds := []string{"= o", "value > 20000", "id = c"}
+	sqlText := rq.SQL
+	for _, w := range wantPreds {
+		if !strings.Contains(sqlText, w) {
+			t.Errorf("SQL missing %q: %s", w, sqlText)
+		}
+	}
+	if !sel.Distinct {
+		t.Errorf("semi-join self-join needs DISTINCT: %s", sqlText)
+	}
+	if len(sel.OrderBy) < 2 {
+		t.Errorf("ORDER BY for the presorted gBy missing: %s", sqlText)
+	}
+
+	// The group-by above must have switched to the stateless presorted
+	// implementation of Table 1.
+	presorted := false
+	xmas.Walk(pushed, func(op xmas.Op) bool {
+		if gb, ok := op.(*xmas.GroupBy); ok && gb.Presorted {
+			presorted = true
+		}
+		return true
+	})
+	if !presorted {
+		t.Errorf("group-by not upgraded to presorted:\n%s", xmas.Format(pushed))
+	}
+
+	// The mediator part retains only restructuring operators.
+	for _, op := range []string{"mkSrc", "join("} {
+		if strings.Contains(xmas.Format(pushed), op) {
+			t.Errorf("mediator part still contains %s:\n%s", op, xmas.Format(pushed))
+		}
+	}
+}
+
+// TestPushedPlanSemantics: the split plan computes the same result as the
+// unpushed one, shipping far fewer tuples.
+func TestPushedPlanSemantics(t *testing.T) {
+	opt := optimizedFig21(t)
+
+	cat1, db1 := workload.PaperCatalog()
+	prog1, err := engine.Compile(opt, cat1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpushed := prog1.Run().Materialize()
+	unpushedShipped := db1.Stats().TuplesShipped
+
+	cat2, db2 := workload.PaperCatalog()
+	pushed, err := sqlgen.Push(opt, cat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := engine.Compile(pushed, cat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := prog2.Run().Materialize()
+	pushedShipped := db2.Stats().TuplesShipped
+
+	if !xtree.EqualShape(unpushed, got) {
+		t.Fatalf("results differ:\n%s\nvs\n%s", unpushed.Pretty(), got.Pretty())
+	}
+	if pushedShipped >= unpushedShipped {
+		t.Fatalf("pushdown did not reduce transfer: pushed=%d unpushed=%d", pushedShipped, unpushedShipped)
+	}
+	t.Logf("shipped: unpushed=%d pushed=%d", unpushedShipped, pushedShipped)
+}
+
+// TestIDSelectionPushdown: decontextualization's $C = &XYZ123 selection
+// becomes a key predicate in the SQL (the mechanism that makes in-place
+// queries cheap).
+func TestIDSelectionPushdown(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	plan := &xmas.TD{
+		In: &xmas.Select{
+			In: &xmas.GetD{
+				In:   &xmas.MkSrc{SrcID: "&root1", Out: "$doc"},
+				From: "$doc", Path: xmas.ParsePath("customer"), Out: "$C",
+			},
+			Cond: xmas.NewVarConstCond("$C", xtree.OpEQ, "&XYZ123"),
+		},
+		V: "$C",
+	}
+	pushed, err := sqlgen.Push(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rq *xmas.RelQuery
+	xmas.Walk(pushed, func(op xmas.Op) bool {
+		if r, ok := op.(*xmas.RelQuery); ok {
+			rq = r
+		}
+		return true
+	})
+	if rq == nil {
+		t.Fatalf("no relQuery produced:\n%s", xmas.Format(pushed))
+	}
+	if !strings.Contains(rq.SQL, "id = 'XYZ123'") {
+		t.Fatalf("id selection not translated to key predicate: %s", rq.SQL)
+	}
+	// Run it.
+	prog, err := engine.Compile(pushed, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Run().Materialize()
+	if len(m.Children) != 1 || string(m.Children[0].ID) != "&XYZ123" {
+		t.Fatalf("result: %s", m.Pretty())
+	}
+}
+
+// TestNonRelationalSourcesStayPut: plans over XML documents are untouched.
+func TestNonRelationalSourcesStayPut(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	cat.AddXMLDoc("&xmlcust", workload.PaperXMLDoc("customer"))
+	tr := translate.MustTranslate(xquery.MustParse(`
+FOR $C IN document(&xmlcust)/customer
+WHERE $C/addr = "NewYork"
+RETURN $C`), "res")
+	pushed, err := sqlgen.Push(tr.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmas.Equal(tr.Plan, pushed) {
+		t.Fatalf("XML-source plan was modified:\n%s", xmas.Format(pushed))
+	}
+}
+
+// TestColumnVarReconstruction: a pushed plan that exports a column variable
+// rebuilds the column element with the wrapper's id convention.
+func TestColumnVarReconstruction(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	tr := translate.MustTranslate(xquery.MustParse(`
+FOR $C IN document(&root1)/customer
+    $O IN document(&root2)/orders
+WHERE $C/id/data() = $O/cid/data()
+RETURN $O`), "res")
+	pushed, err := sqlgen.Push(tr.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := engine.Compile(pushed, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Run().Materialize()
+	if len(m.Children) != 3 {
+		t.Fatalf("matching orders = %d, want 3:\n%s", len(m.Children), m.Pretty())
+	}
+	if m.Children[0].Label != "orders" || len(m.Children[0].Children) != 3 {
+		t.Fatalf("order tuple reconstruction: %s", m.Children[0])
+	}
+}
+
+// TestPushMixedPlan: only the relational subplan is carved when a plan
+// joins an XML source with a relational one.
+func TestPushMixedPlan(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	cat.AddXMLDoc("&xmlcust", workload.PaperXMLDoc("customer"))
+	tr := translate.MustTranslate(xquery.MustParse(`
+FOR $C IN document(&xmlcust)/customer
+    $O IN document(&root2)/orders
+WHERE $C/id/data() = $O/cid/data()
+RETURN $O`), "res")
+	pushed, err := sqlgen.Push(tr.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasRQ, hasMkSrc := false, false
+	xmas.Walk(pushed, func(op xmas.Op) bool {
+		switch op.(type) {
+		case *xmas.RelQuery:
+			hasRQ = true
+		case *xmas.MkSrc:
+			hasMkSrc = true
+		}
+		return true
+	})
+	if !hasRQ || !hasMkSrc {
+		t.Fatalf("mixed plan: rq=%v mkSrc=%v\n%s", hasRQ, hasMkSrc, xmas.Format(pushed))
+	}
+	prog, err := engine.Compile(pushed, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Run().Materialize()
+	if len(m.Children) != 3 {
+		t.Fatalf("result children = %d, want 3", len(m.Children))
+	}
+}
+
+// TestOrderByPushed: an explicit orderBy over a convertible subplan lands in
+// the SQL.
+func TestOrderByPushed(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	plan := &xmas.TD{
+		In: &xmas.OrderBy{
+			In: &xmas.GetD{
+				In:   &xmas.MkSrc{SrcID: "&root2", Out: "$doc"},
+				From: "$doc", Path: xmas.ParsePath("orders"), Out: "$O",
+			},
+			Vars: []xmas.Var{"$O"},
+		},
+		V: "$O",
+	}
+	pushed, err := sqlgen.Push(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rq *xmas.RelQuery
+	xmas.Walk(pushed, func(op xmas.Op) bool {
+		if r, ok := op.(*xmas.RelQuery); ok {
+			rq = r
+		}
+		return true
+	})
+	if rq == nil || !strings.Contains(rq.SQL, "ORDER BY o1.orid") {
+		t.Fatalf("orderBy not pushed: %v", rq)
+	}
+	prog, err := engine.Compile(pushed, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Run().Materialize()
+	if len(m.Children) != 4 || string(m.Children[0].ID) != "&28904" {
+		t.Fatalf("ordered result:\n%s", m.Pretty())
+	}
+}
+
+// TestProjectPushedAsDistinct: a projection over a convertible subplan
+// becomes SELECT DISTINCT.
+func TestProjectPushedAsDistinct(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	plan := &xmas.TD{
+		In: &xmas.Project{
+			In: &xmas.GetD{
+				In: &xmas.GetD{
+					In:   &xmas.MkSrc{SrcID: "&root2", Out: "$doc"},
+					From: "$doc", Path: xmas.ParsePath("orders"), Out: "$O",
+				},
+				From: "$O", Path: xmas.ParsePath("orders.cid"), Out: "$CID",
+			},
+			Vars: []xmas.Var{"$CID"},
+		},
+		V: "$CID",
+	}
+	pushed, err := sqlgen.Push(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rq *xmas.RelQuery
+	xmas.Walk(pushed, func(op xmas.Op) bool {
+		if r, ok := op.(*xmas.RelQuery); ok {
+			rq = r
+		}
+		return true
+	})
+	if rq == nil || !strings.Contains(rq.SQL, "DISTINCT") {
+		t.Fatalf("projection not pushed as DISTINCT: %v", rq)
+	}
+}
+
+// TestCrossServerJoinNotMerged: joins across different relational servers
+// stay at the mediator (two rQ leaves).
+func TestCrossServerJoinNotMerged(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	db2 := workload.ScaleDB("db2", 3, 1, 1)
+	cat.AddRelDB(db2)
+	tr := translate.MustTranslate(xquery.MustParse(`
+FOR $C IN document(&db1.customer)/customer
+    $D IN document(&db2.customer)/customer
+WHERE $C/id/data() = $D/id/data()
+RETURN $C`), "res")
+	pushed, err := sqlgen.Push(tr.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	xmas.Walk(pushed, func(op xmas.Op) bool {
+		if _, ok := op.(*xmas.RelQuery); ok {
+			count++
+		}
+		return true
+	})
+	if count != 2 {
+		t.Fatalf("cross-server rQ count = %d, want 2:\n%s", count, xmas.Format(pushed))
+	}
+	hasJoin := false
+	xmas.Walk(pushed, func(op xmas.Op) bool {
+		if _, ok := op.(*xmas.Join); ok {
+			hasJoin = true
+		}
+		return true
+	})
+	if !hasJoin {
+		t.Fatal("the cross-server join must stay at the mediator")
+	}
+}
+
+// TestDeepColumnPathNotConvertible: paths below column level stay at the
+// mediator but still execute correctly.
+func TestDeepColumnPathNotConvertible(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	tr := translate.MustTranslate(xquery.MustParse(`
+FOR $X IN document(&root1)/customer/name/*
+RETURN $X`), "res")
+	pushed, err := sqlgen.Push(tr.Plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := engine.Compile(pushed, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Run().Materialize()
+	// The name values themselves (leaves).
+	if len(m.Children) != 2 {
+		t.Fatalf("deep path children = %d, want 2:\n%s", len(m.Children), m.Pretty())
+	}
+}

@@ -1,0 +1,190 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"mix/internal/workload"
+	"mix/internal/xmas"
+	"mix/internal/xquery"
+)
+
+// TestFigure6Plan is the golden test for paper Figure 6: the Figure 3 query
+// translates into exactly the plan shape the paper draws — getD/mkSrc
+// chains joined on the WHERE temporaries, a per-tuple crElt for OrderInfo,
+// a group-by on $C with an apply collecting the OrderInfo list, a cat
+// prepending the customer element, the CustRec crElt, and the final tD.
+func TestFigure6Plan(t *testing.T) {
+	tr := MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	got := xmas.Format(tr.Plan)
+	want := strings.TrimSpace(`
+tD($V2, rootv)
+  crElt(CustRec, g($C), $W -> $V2)
+    cat(list($C), $Z -> $W)
+      apply(p, $X -> $Z)
+        p:
+          tD($V)
+            nSrc($X)
+        gBy([$C] -> $X)
+          crElt(OrderInfo, f($O), list($O) -> $V)
+            join($1 = $2)
+              getD($C.customer.id -> $1)
+                getD($doc.customer -> $C)
+                  mkSrc(&root1, $doc)
+              getD($O.orders.cid -> $2)
+                getD($doc2.orders -> $O)
+                  mkSrc(&root2, $doc2)`)
+	if got != want {
+		t.Fatalf("Figure 6 plan mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if err := xmas.Validate(tr.Plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagsRecorded(t *testing.T) {
+	tr := MustTranslate(xquery.MustParse(workload.Q1), "rootv")
+	for v, want := range map[xmas.Var]string{
+		"$C":  "customer",
+		"$O":  "orders",
+		"$V":  "OrderInfo",
+		"$V2": "CustRec",
+		"$1":  "id",
+		"$2":  "cid",
+	} {
+		if got := tr.Tags[v]; got != want {
+			t.Errorf("tag(%s) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSelectTranslation(t *testing.T) {
+	tr := MustTranslate(xquery.MustParse(`
+FOR $C IN document(&root1)/customer
+WHERE $C/name < "B"
+RETURN $C`), "res")
+	got := xmas.Format(tr.Plan)
+	want := strings.TrimSpace(`
+tD($C, res)
+  select($1 < "B")
+    getD($C.customer.name -> $1)
+      getD($doc.customer -> $C)
+        mkSrc(&root1, $doc)`)
+	if got != want {
+		t.Fatalf("select plan:\n%s\nwant\n%s", got, want)
+	}
+}
+
+func TestVariablePathBinding(t *testing.T) {
+	tr := MustTranslate(xquery.MustParse(`
+FOR $R IN document(rootv)/CustRec
+    $S IN $R/OrderInfo
+WHERE $S/orders/value > 20000
+RETURN $R`), "res")
+	got := xmas.Format(tr.Plan)
+	// $S's getD must prefix $R's tag (paths include the start label).
+	if !strings.Contains(got, "getD($R.CustRec.OrderInfo -> $S)") {
+		t.Fatalf("variable binding path:\n%s", got)
+	}
+	if !strings.Contains(got, "getD($S.OrderInfo.orders.value -> $1)") {
+		t.Fatalf("WHERE operand path:\n%s", got)
+	}
+}
+
+func TestCartesianProductFallback(t *testing.T) {
+	tr := MustTranslate(xquery.MustParse(`
+FOR $A IN document(&d1)/a
+    $B IN document(&d2)/b
+RETURN <pair> $A $B </pair>`), "res")
+	found := false
+	xmas.Walk(tr.Plan, func(op xmas.Op) bool {
+		if j, ok := op.(*xmas.Join); ok && j.Cond == nil {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("unjoined FOR clauses must combine via cartesian product:\n%s", xmas.Format(tr.Plan))
+	}
+}
+
+func TestVarVarSelectInOneExpr(t *testing.T) {
+	tr := MustTranslate(xquery.MustParse(`
+FOR $O IN document(&d)/orders
+WHERE $O/value = $O/weight
+RETURN $O`), "res")
+	got := xmas.Format(tr.Plan)
+	if !strings.Contains(got, "select($1 = $2)") {
+		t.Fatalf("same-expression condition should select, not join:\n%s", got)
+	}
+}
+
+func TestGroupedReturnWithoutVariation(t *testing.T) {
+	// Grouping where every content var is a key: no gBy is needed; merge
+	// happens by skolem id (DESIGN.md documents this).
+	tr := MustTranslate(xquery.MustParse(`
+FOR $C IN document(&d)/customer
+    $O IN $C/order
+RETURN <rec> $C </rec> {$C}`), "res")
+	got := xmas.Format(tr.Plan)
+	if strings.Contains(got, "gBy") {
+		t.Fatalf("no grouping expected:\n%s", got)
+	}
+	if !strings.Contains(got, "crElt(rec, f($C), list($C) -> $V)") {
+		t.Fatalf("skolemized per-tuple crElt expected:\n%s", got)
+	}
+}
+
+func TestNestedQueryTranslation(t *testing.T) {
+	tr := MustTranslate(xquery.MustParse(`
+FOR $C IN document(&d)/customer
+RETURN
+  <rec>
+    $C
+    FOR $O IN $C/order WHERE $O/value > 100 RETURN $O
+  </rec> {$C}`), "res")
+	if err := xmas.Validate(tr.Plan); err != nil {
+		t.Fatal(err)
+	}
+	got := xmas.Format(tr.Plan)
+	for _, want := range []string{"apply(p", "nSrc(", "gBy(["} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("nested query plan missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	cases := []string{
+		`FOR $S IN $R/x RETURN $S`,                          // unbound range var
+		`FOR $C IN document(&d)/c WHERE $Z/v = 1 RETURN $C`, // unbound WHERE var
+		`FOR $C IN document(&d)/c RETURN $Z`,                // unbound RETURN var
+		`FOR $C IN document(&d)/c WHERE 1 = 2 RETURN $C`,    // constant condition
+		`FOR $C IN document(&d)/c RETURN <r> $Z </r>`,       // unbound in ctor
+		`FOR $C IN document(&d)/c RETURN <r> $C </r> {$Z}`,  // unbound group-by
+	}
+	for _, src := range cases {
+		if _, err := Translate(xquery.MustParse(src), "res"); err == nil {
+			t.Errorf("Translate(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestResultRootVar(t *testing.T) {
+	tr := MustTranslate(xquery.MustParse(`FOR $C IN document(&d)/c RETURN $C`), "res")
+	if tr.RootVar != "$C" {
+		t.Fatalf("RootVar = %s", tr.RootVar)
+	}
+	td := tr.Plan.(*xmas.TD)
+	if td.RootID != "res" || td.V != "$C" {
+		t.Fatalf("tD = %+v", td)
+	}
+}
+
+func TestFreshVarDeterminism(t *testing.T) {
+	a := xmas.Format(MustTranslate(xquery.MustParse(workload.Q1), "v").Plan)
+	b := xmas.Format(MustTranslate(xquery.MustParse(workload.Q1), "v").Plan)
+	if a != b {
+		t.Fatal("translation must be deterministic")
+	}
+}

@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Client is the thin client-side library: it speaks the wire protocol and
+// exposes remote virtual documents through RemoteNode, whose surface mirrors
+// the in-process QDOM API. A Client is safe for concurrent use; requests are
+// serialized over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+	out  *bufio.Writer
+	in   *bufio.Scanner
+	next int64
+}
+
+// Dial connects to a mediator server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe).
+func NewClient(conn io.ReadWriteCloser) *Client {
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	return &Client{conn: conn, out: bufio.NewWriter(conn), in: in}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req.ID = c.next
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		return Response{}, err
+	}
+	payload = append(payload, '\n')
+	if _, err := c.out.Write(payload); err != nil {
+		return Response{}, err
+	}
+	if err := c.out.Flush(); err != nil {
+		return Response{}, err
+	}
+	if !c.in.Scan() {
+		if err := c.in.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, io.ErrUnexpectedEOF
+	}
+	var resp Response
+	if err := json.Unmarshal(c.in.Bytes(), &resp); err != nil {
+		return Response{}, err
+	}
+	if resp.ID != req.ID {
+		return Response{}, fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return Response{}, fmt.Errorf("wire: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping round-trips a no-op.
+func (c *Client) Ping() error {
+	_, err := c.call(Request{Op: "ping"})
+	return err
+}
+
+// Open starts a session on a registered view and returns its root.
+func (c *Client) Open(view string) (*RemoteNode, error) {
+	resp, err := c.call(Request{Op: "open", View: view})
+	if err != nil {
+		return nil, err
+	}
+	return c.node(resp), nil
+}
+
+// Query runs a query and returns the result root.
+func (c *Client) Query(query string) (*RemoteNode, error) {
+	resp, err := c.call(Request{Op: "query", Query: query})
+	if err != nil {
+		return nil, err
+	}
+	return c.node(resp), nil
+}
+
+// Stats reads the server-side transfer counters.
+func (c *Client) Stats() (tuplesShipped, queriesReceived int64, err error) {
+	resp, err := c.call(Request{Op: "stats"})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.TuplesShipped, resp.QueriesReceived, nil
+}
+
+func (c *Client) node(resp Response) *RemoteNode {
+	if resp.Nil {
+		return nil
+	}
+	return &RemoteNode{
+		c:      c,
+		handle: resp.Handle,
+		label:  resp.Label,
+		nodeID: resp.NodeID,
+		leaf:   resp.IsLeaf,
+		value:  resp.Value,
+	}
+}
+
+// RemoteNode is the client-resident stand-in for a node of a virtual
+// document at the mediator. Navigation methods evaluate one QDOM step
+// remotely; label, id and leaf-value are cached from the creating response
+// (the protocol piggybacks them, saving round trips).
+type RemoteNode struct {
+	c      *Client
+	handle int64
+	label  string
+	nodeID string
+	leaf   bool
+	value  string
+}
+
+// Handle exposes the protocol handle (diagnostics).
+func (n *RemoteNode) Handle() int64 { return n.handle }
+
+// Label returns the node's label (fl).
+func (n *RemoteNode) Label() string {
+	if n == nil {
+		return ""
+	}
+	return n.label
+}
+
+// ID returns the node's object id.
+func (n *RemoteNode) ID() string {
+	if n == nil {
+		return ""
+	}
+	return n.nodeID
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *RemoteNode) IsLeaf() bool { return n == nil || n.leaf }
+
+// Value returns a leaf's value (fv); ok=false on non-leaves (⊥).
+func (n *RemoteNode) Value() (string, bool) {
+	if n == nil || !n.leaf {
+		return "", false
+	}
+	return n.value, true
+}
+
+func (n *RemoteNode) step(op string) (*RemoteNode, error) {
+	if n == nil {
+		return nil, fmt.Errorf("wire: navigation from ⊥")
+	}
+	resp, err := n.c.call(Request{Op: op, Handle: n.handle})
+	if err != nil {
+		return nil, err
+	}
+	return n.c.node(resp), nil
+}
+
+// Down evaluates d at the mediator.
+func (n *RemoteNode) Down() (*RemoteNode, error) { return n.step("down") }
+
+// Right evaluates r at the mediator.
+func (n *RemoteNode) Right() (*RemoteNode, error) { return n.step("right") }
+
+// Up returns the parent.
+func (n *RemoteNode) Up() (*RemoteNode, error) { return n.step("up") }
+
+// QueryFrom issues an in-place query from this node (the q command) and
+// returns the new result's root.
+func (n *RemoteNode) QueryFrom(query string) (*RemoteNode, error) {
+	if n == nil {
+		return nil, fmt.Errorf("wire: query from ⊥")
+	}
+	resp, err := n.c.call(Request{Op: "queryFrom", Handle: n.handle, Query: query})
+	if err != nil {
+		return nil, err
+	}
+	return n.c.node(resp), nil
+}
+
+// Materialize fetches the subtree below the node as XML.
+func (n *RemoteNode) Materialize() (string, error) {
+	if n == nil {
+		return "", fmt.Errorf("wire: materialize of ⊥")
+	}
+	resp, err := n.c.call(Request{Op: "materialize", Handle: n.handle})
+	if err != nil {
+		return "", err
+	}
+	return resp.XML, nil
+}

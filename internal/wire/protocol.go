@@ -1,0 +1,47 @@
+// Package wire implements the client/server split of the MIX system: the
+// paper's mediator is a server and "a thin client-side library associates
+// with each p_i the object id of the corresponding object exported by the
+// mediator" (Section 2). The server exports QDOM over a line-oriented JSON
+// protocol; the client library exposes the same Down/Right/Label/Value/
+// QueryFrom surface as the in-process API, with node handles standing in
+// for the client-resident objects.
+//
+// Laziness crosses the wire: a navigation command evaluates exactly one
+// QDOM step at the mediator, so remote clients get the same demand-driven
+// source access as local ones.
+package wire
+
+// Request is one client command.
+type Request struct {
+	ID int64 `json:"id"`
+	// Op is the command: open, query, queryFrom, down, right, up, label,
+	// value, nodeID, materialize, stats, ping.
+	Op string `json:"op"`
+	// View names the view for open.
+	View string `json:"view,omitempty"`
+	// Query carries the query text for query/queryFrom.
+	Query string `json:"query,omitempty"`
+	// Handle identifies the node for navigation and queryFrom.
+	Handle int64 `json:"handle,omitempty"`
+}
+
+// Response answers one request.
+type Response struct {
+	ID    int64  `json:"id"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// Handle is the node handle produced by open/query/queryFrom/down/
+	// right/up. Null (0 with Nil=true) encodes the paper's ⊥.
+	Handle int64 `json:"handle,omitempty"`
+	Nil    bool  `json:"nil,omitempty"`
+
+	Label  string `json:"label,omitempty"`
+	Value  string `json:"value,omitempty"`
+	IsLeaf bool   `json:"isLeaf,omitempty"`
+	NodeID string `json:"nodeId,omitempty"`
+	XML    string `json:"xml,omitempty"`
+
+	TuplesShipped   int64 `json:"tuplesShipped,omitempty"`
+	QueriesReceived int64 `json:"queriesReceived,omitempty"`
+}

@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mix"
+	"mix/internal/xmlio"
+)
+
+// Server hosts a mediator for remote QDOM clients.
+type Server struct {
+	med *mix.Mediator
+}
+
+// NewServer wraps a mediator.
+func NewServer(med *mix.Mediator) *Server { return &Server{med: med} }
+
+// Serve accepts connections until the listener closes. Each connection gets
+// its own session (handle table); sessions are independent.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs one session over an arbitrary byte stream (tests use
+// net.Pipe). It returns when the peer closes or sends malformed framing.
+func (s *Server) ServeConn(conn io.ReadWriter) error {
+	sess := &session{med: s.med, nodes: map[int64]*mix.Node{}}
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(conn)
+	enc := json.NewEncoder(out)
+	for in.Scan() {
+		line := in.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{OK: false, Error: "malformed request: " + err.Error()}
+		} else {
+			resp = sess.handle(req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return err
+		}
+		if err := out.Flush(); err != nil {
+			return err
+		}
+	}
+	return in.Err()
+}
+
+// session is one connection's state: the handle table associating client
+// handles with mediator-side nodes (the thin-client contract of Section 2).
+type session struct {
+	med *mix.Mediator
+
+	mu     sync.Mutex
+	nodes  map[int64]*mix.Node
+	nextID int64
+}
+
+func (s *session) put(n *mix.Node) (int64, bool) {
+	if n == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.nodes[s.nextID] = n
+	return s.nextID, true
+}
+
+func (s *session) get(h int64) (*mix.Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[h]
+	if !ok {
+		return nil, fmt.Errorf("unknown handle %d", h)
+	}
+	return n, nil
+}
+
+func (s *session) handle(req Request) Response {
+	resp := Response{ID: req.ID, OK: true}
+	fail := func(err error) Response {
+		return Response{ID: req.ID, OK: false, Error: err.Error()}
+	}
+	nodeResp := func(n *mix.Node) Response {
+		h, ok := s.put(n)
+		if !ok {
+			resp.Nil = true
+			return resp
+		}
+		resp.Handle = h
+		resp.Label = n.Label()
+		resp.NodeID = n.ID()
+		resp.IsLeaf = n.IsLeaf()
+		if v, isLeaf := n.Value(); isLeaf {
+			resp.Value = v
+		}
+		return resp
+	}
+
+	switch req.Op {
+	case "ping":
+		return resp
+	case "open":
+		doc, err := s.med.Open(req.View)
+		if err != nil {
+			return fail(err)
+		}
+		return nodeResp(doc.Root())
+	case "query":
+		doc, err := s.med.Query(req.Query)
+		if err != nil {
+			return fail(err)
+		}
+		return nodeResp(doc.Root())
+	case "queryFrom":
+		n, err := s.get(req.Handle)
+		if err != nil {
+			return fail(err)
+		}
+		doc, err := s.med.QueryFrom(n, req.Query)
+		if err != nil {
+			return fail(err)
+		}
+		return nodeResp(doc.Root())
+	case "down", "right", "up":
+		n, err := s.get(req.Handle)
+		if err != nil {
+			return fail(err)
+		}
+		var next *mix.Node
+		switch req.Op {
+		case "down":
+			next = n.Down()
+		case "right":
+			next = n.Right()
+		case "up":
+			next = n.Up()
+		}
+		return nodeResp(next)
+	case "label":
+		n, err := s.get(req.Handle)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Label = n.Label()
+		return resp
+	case "value":
+		n, err := s.get(req.Handle)
+		if err != nil {
+			return fail(err)
+		}
+		v, isLeaf := n.Value()
+		if !isLeaf {
+			resp.Nil = true // the paper's ⊥ for fv on non-leaves
+			return resp
+		}
+		resp.Value = v
+		return resp
+	case "nodeID":
+		n, err := s.get(req.Handle)
+		if err != nil {
+			return fail(err)
+		}
+		resp.NodeID = n.ID()
+		return resp
+	case "materialize":
+		n, err := s.get(req.Handle)
+		if err != nil {
+			return fail(err)
+		}
+		resp.XML = xmlio.SerializeIndent(n.Materialize())
+		return resp
+	case "stats":
+		st := s.med.Stats()
+		resp.TuplesShipped = st.TuplesShipped
+		resp.QueriesReceived = st.QueriesReceived
+		return resp
+	}
+	return fail(fmt.Errorf("unknown op %q", req.Op))
+}

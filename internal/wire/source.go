@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+
+	"mix/internal/source"
+	"mix/internal/xmlio"
+	"mix/internal/xtree"
+)
+
+// RemoteDoc adapts a remote virtual document (a node at another MIX
+// mediator, reached through the wire protocol) as a source document of a
+// local mediator — true distributed federation: the upper mediator's
+// navigation turns into wire round trips, which turn into demand-driven
+// source access at the lower mediator.
+//
+// As with the in-process variant, laziness is preserved across top-level
+// children (one remote child is fetched per pull); within one child the
+// subtree is materialized on first visit.
+type RemoteDoc struct {
+	id   string
+	root *RemoteNode
+}
+
+// NewRemoteDoc wraps a remote node (usually a result root from
+// Client.Open/Query) as a document with the given source id.
+func NewRemoteDoc(id string, root *RemoteNode) *RemoteDoc {
+	return &RemoteDoc{id: id, root: root}
+}
+
+// RootID implements source.Doc.
+func (d *RemoteDoc) RootID() string { return d.id }
+
+// Open implements source.Doc: a cursor over the remote root's children.
+func (d *RemoteDoc) Open() (source.ElemCursor, error) {
+	first, err := d.root.Down()
+	if err != nil {
+		return nil, fmt.Errorf("wire: opening remote doc %s: %w", d.id, err)
+	}
+	return &remoteCursor{next: first}, nil
+}
+
+type remoteCursor struct {
+	next *RemoteNode
+}
+
+func (c *remoteCursor) Next() (*xtree.Node, bool, error) {
+	if c.next == nil {
+		return nil, false, nil
+	}
+	cur := c.next
+	xml, err := cur.Materialize()
+	if err != nil {
+		return nil, false, err
+	}
+	// The XML serialization drops interior object ids; re-id the subtree
+	// deterministically under the remote root id so node identity (skolem
+	// arguments, duplicate elimination) stays meaningful locally.
+	n, err := xmlio.ParseWith(xml, xmlio.Options{
+		IDPrefix: strings.TrimPrefix(cur.ID(), "&"),
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("wire: remote subtree: %w", err)
+	}
+	// Preserve the remote object id on the subtree root itself.
+	n.ID = xtree.ID(cur.ID())
+	c.next, err = cur.Right()
+	if err != nil {
+		return nil, false, err
+	}
+	return n, true, nil
+}
+
+func (c *remoteCursor) Close() {}

@@ -1,0 +1,329 @@
+package wire_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"mix"
+	"mix/internal/wire"
+	"mix/internal/workload"
+)
+
+// startPair wires a client to a fresh server session over net.Pipe.
+func startPair(t *testing.T) (*wire.Client, *mix.Mediator) {
+	t.Helper()
+	med := mix.New()
+	med.AddRelationalSource(workload.PaperDB())
+	if err := med.AliasSource("&root1", "&db1.customer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := med.AliasSource("&root2", "&db1.orders"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med.DefineView("rootv", workload.Q1); err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	srv := wire.NewServer(med)
+	go func() {
+		defer server.Close()
+		_ = srv.ServeConn(server)
+	}()
+	c := wire.NewClient(client)
+	t.Cleanup(func() { c.Close() })
+	return c, med
+}
+
+func TestPing(t *testing.T) {
+	c, _ := startPair(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteSession replays Example 2.1 across the wire: navigation steps
+// each evaluate one QDOM step at the mediator, and in-place queries
+// decontextualize there.
+func TestRemoteSession(t *testing.T) {
+	c, med := startPair(t)
+
+	p0, err := c.Open("rootv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.Label() != "list" {
+		t.Fatalf("root label = %q", p0.Label())
+	}
+	if shipped, _, _ := c.Stats(); shipped != 0 {
+		t.Fatalf("open shipped %d tuples", shipped)
+	}
+
+	p1, err := p0.Down()
+	if err != nil || p1.Label() != "CustRec" {
+		t.Fatalf("d(p0): %v %v", p1, err)
+	}
+	shipped1, _, _ := c.Stats()
+	if shipped1 == 0 {
+		t.Fatal("first remote navigation shipped nothing")
+	}
+
+	p2, err := p1.Right()
+	if err != nil || p2 == nil {
+		t.Fatalf("r(p1): %v %v", p2, err)
+	}
+	end, err := p2.Right()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != nil {
+		t.Fatal("r past last CustRec must be ⊥")
+	}
+
+	// Descend to a leaf and read its value.
+	cust, err := p2.Down()
+	if err != nil || cust.Label() != "customer" {
+		t.Fatalf("d(p2): %v %v", cust, err)
+	}
+	idElem, err := cust.Down()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := idElem.Down()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := leaf.Value(); !ok || v != "XYZ123" {
+		t.Fatalf("fv(leaf) = %q, %v", v, ok)
+	}
+	if _, ok := cust.Value(); ok {
+		t.Fatal("fv on non-leaf must be ⊥")
+	}
+	up, err := leaf.Up()
+	if err != nil || up.Label() != "id" {
+		t.Fatalf("up: %v %v", up, err)
+	}
+
+	// In-place query from the second CustRec (XYZ123).
+	sub, err := p2.QueryFrom(`
+FOR $O IN document(root)/OrderInfo
+WHERE $O/orders/value < 500
+RETURN $O`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi, err := sub.Down()
+	if err != nil || oi == nil || oi.Label() != "OrderInfo" {
+		t.Fatalf("in-place result: %v %v", oi, err)
+	}
+	xml, err := oi.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xml, "<orid>31416</orid>") {
+		t.Fatalf("materialized XML:\n%s", xml)
+	}
+
+	// Server and local stats agree.
+	shipped, queries, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := med.Stats()
+	if shipped != local.TuplesShipped || queries != local.QueriesReceived {
+		t.Fatalf("stats mismatch: wire (%d,%d) vs local (%d,%d)",
+			shipped, queries, local.TuplesShipped, local.QueriesReceived)
+	}
+}
+
+func TestRemoteQuery(t *testing.T) {
+	c, _ := startPair(t)
+	root, err := c.Query(workload.Fig12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := root.Down()
+	if err != nil || rec == nil {
+		t.Fatalf("query result: %v %v", rec, err)
+	}
+	if rec.Label() != "CustRec" {
+		t.Fatalf("label = %q", rec.Label())
+	}
+	next, err := rec.Right()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != nil {
+		t.Fatal("Fig12 over the paper data has exactly one CustRec")
+	}
+}
+
+func TestRemoteErrors(t *testing.T) {
+	c, _ := startPair(t)
+	if _, err := c.Open("nosuchview"); err == nil {
+		t.Error("open of unknown view must fail")
+	}
+	if _, err := c.Query("FOR $C IN"); err == nil {
+		t.Error("bad query must fail")
+	}
+	// The connection survives errors.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection broken after error: %v", err)
+	}
+	p0, err := c.Open("rootv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p0.QueryFrom("FOR"); err == nil {
+		t.Error("bad in-place query must fail")
+	}
+}
+
+func TestServeTCP(t *testing.T) {
+	med := mix.New()
+	med.AddRelationalSource(workload.PaperDB())
+	if err := med.AliasSource("&root1", "&db1.customer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := med.AliasSource("&root2", "&db1.orders"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med.DefineView("rootv", workload.Q1); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = wire.NewServer(med).Serve(l) }()
+
+	// Two concurrent clients with independent sessions.
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			c, err := wire.Dial(l.Addr().String())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			root, err := c.Open("rootv")
+			if err != nil {
+				done <- err
+				return
+			}
+			n, err := root.Down()
+			if err == nil && (n == nil || n.Label() != "CustRec") {
+				err = errUnexpected
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errUnexpected = &net.AddrError{Err: "unexpected navigation result"}
+
+// TestRemoteFederation: a LOCAL mediator integrates a REMOTE mediator's
+// virtual view as one of its sources, over the wire. Queries at the upper
+// mediator pull through the protocol and, transitively, out of the lower
+// mediator's relational source on demand.
+func TestRemoteFederation(t *testing.T) {
+	c, lower := startPair(t)
+	remoteRoot, err := c.Open("rootv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	upper := mix.New()
+	upper.Catalog().AddDoc("&remote", wire.NewRemoteDoc("&remote", remoteRoot))
+	if n := lower.Stats().TuplesShipped; n != 0 {
+		t.Fatalf("registration shipped %d tuples at the lower mediator", n)
+	}
+
+	doc, err := upper.Query(`
+FOR $R IN document(&remote)/CustRec
+    $C IN $R/customer
+WHERE $C/addr = "NewYork"
+RETURN <Hit> $C </Hit>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.Materialize()
+	if err := doc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Children) != 1 {
+		t.Fatalf("federated hits = %d, want 1:\n%s", len(m.Children), m.Pretty())
+	}
+	name := m.Children[0].Find("name")
+	if name == nil || name.Children[0].Label != "DEFCorp." {
+		t.Fatalf("federated result:\n%s", m.Pretty())
+	}
+	if lower.Stats().TuplesShipped == 0 {
+		t.Fatal("the lower mediator's source was never consulted")
+	}
+}
+
+// TestProtocolRobustness: malformed requests and unknown ops/handles get
+// error responses without killing the session.
+func TestProtocolRobustness(t *testing.T) {
+	med := mix.New()
+	med.AddRelationalSource(workload.PaperDB())
+	server, client := net.Pipe()
+	go func() {
+		defer server.Close()
+		_ = wire.NewServer(med).ServeConn(server)
+	}()
+	defer client.Close()
+
+	send := func(line string) string {
+		if _, err := client.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		n, err := client.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf[:n])
+	}
+
+	if resp := send(`{not json`); !strings.Contains(resp, "malformed") {
+		t.Fatalf("malformed request response: %s", resp)
+	}
+	if resp := send(`{"id":1,"op":"teleport"}`); !strings.Contains(resp, "unknown op") {
+		t.Fatalf("unknown op response: %s", resp)
+	}
+	if resp := send(`{"id":2,"op":"down","handle":999}`); !strings.Contains(resp, "unknown handle") {
+		t.Fatalf("unknown handle response: %s", resp)
+	}
+	if resp := send(`{"id":3,"op":"ping"}`); !strings.Contains(resp, `"ok":true`) {
+		t.Fatalf("session died after errors: %s", resp)
+	}
+}
+
+// TestNilRemoteNodeSafety: ⊥ handling in the client library.
+func TestNilRemoteNodeSafety(t *testing.T) {
+	var n *wire.RemoteNode
+	if n.Label() != "" || n.ID() != "" || !n.IsLeaf() {
+		t.Fatal("nil accessors")
+	}
+	if _, ok := n.Value(); ok {
+		t.Fatal("nil value")
+	}
+	if _, err := n.Down(); err == nil {
+		t.Fatal("navigation from ⊥ must error")
+	}
+	if _, err := n.QueryFrom("FOR $X IN document(root)/a RETURN $X"); err == nil {
+		t.Fatal("query from ⊥ must error")
+	}
+	if _, err := n.Materialize(); err == nil {
+		t.Fatal("materialize of ⊥ must error")
+	}
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomViewQuery generates a random, always-valid query over the Q1 view
+// (document(rootv)/CustRec ...). The shapes cover the composition patterns
+// the rewriter handles: dependent bindings into constructed and source
+// subtrees, value and name conditions, plain, constructed and grouped
+// RETURNs. Differential tests run the generated queries through independent
+// evaluation paths and compare.
+func RandomViewQuery(rng *rand.Rand) string {
+	type binding struct {
+		v   string
+		tag string
+	}
+	bindings := []binding{{"$R", "CustRec"}}
+	forClause := "FOR $R IN document(rootv)/CustRec"
+
+	steps := map[string][][2]string{
+		"CustRec":   {{"customer", "customer"}, {"OrderInfo", "OrderInfo"}},
+		"OrderInfo": {{"orders", "orders"}},
+		"customer":  {{"name", "name"}, {"addr", "addr"}},
+		"orders":    {{"value", "value"}, {"cid", "cid"}},
+	}
+	nExtra := rng.Intn(3)
+	for i := 0; i < nExtra; i++ {
+		from := bindings[rng.Intn(len(bindings))]
+		choices := steps[from.tag]
+		if len(choices) == 0 {
+			continue
+		}
+		c := choices[rng.Intn(len(choices))]
+		v := fmt.Sprintf("$B%d", i+1)
+		forClause += fmt.Sprintf("\n    %s IN %s/%s", v, from.v, c[0])
+		bindings = append(bindings, binding{v, c[1]})
+	}
+
+	condPaths := map[string][]string{
+		"CustRec":   {"customer/name", "customer/addr", "OrderInfo/orders/value"},
+		"OrderInfo": {"orders/value", "orders/cid"},
+		"customer":  {"name", "addr"},
+		"orders":    {"value"},
+		"name":      {""},
+		"addr":      {""},
+		"value":     {""},
+		"cid":       {""},
+	}
+	ops := []string{"<", "<=", "=", ">", ">=", "!="}
+	conds := ""
+	nConds := rng.Intn(3)
+	for i := 0; i < nConds; i++ {
+		b := bindings[rng.Intn(len(bindings))]
+		paths := condPaths[b.tag]
+		if len(paths) == 0 {
+			continue
+		}
+		p := paths[rng.Intn(len(paths))]
+		operand := b.v
+		if p != "" {
+			operand += "/" + p
+		}
+		var rhs string
+		numeric := p == "value" || p == "orders/value" || p == "OrderInfo/orders/value" || b.tag == "value"
+		if numeric {
+			rhs = fmt.Sprintf("%d", rng.Intn(250000))
+		} else {
+			rhs = fmt.Sprintf("%q", string(rune('A'+rng.Intn(26))))
+		}
+		kw := "AND"
+		if conds == "" {
+			kw = "WHERE"
+		}
+		conds += fmt.Sprintf("\n%s %s %s %s", kw, operand, ops[rng.Intn(len(ops))], rhs)
+	}
+
+	ret := bindings[rng.Intn(len(bindings))]
+	var returnClause string
+	switch rng.Intn(3) {
+	case 0:
+		returnClause = "RETURN " + ret.v
+	case 1:
+		returnClause = fmt.Sprintf("RETURN <Wrap> %s </Wrap>", ret.v)
+	default:
+		returnClause = fmt.Sprintf("RETURN <Wrap> %s </Wrap> {%s}", ret.v, ret.v)
+	}
+	return forClause + conds + "\n" + returnClause
+}
+
+// RandomInPlaceQuery generates an in-place query appropriate for a node
+// with the given element label (document(root) refers to the node). ok is
+// false for labels no template covers.
+func RandomInPlaceQuery(rng *rand.Rand, label string) (string, bool) {
+	templates := map[string][]string{
+		"list": { // a result root: children may be CustRec or Wrap
+			"FOR $P IN document(root)/CustRec RETURN $P",
+			"FOR $P IN document(root)/CustRec WHERE $P/customer/name < %q RETURN $P",
+			"FOR $P IN document(root)/Wrap RETURN $P",
+		},
+		"CustRec": {
+			"FOR $O IN document(root)/OrderInfo RETURN $O",
+			"FOR $O IN document(root)/OrderInfo WHERE $O/orders/value < %d RETURN $O",
+			"FOR $N IN document(root)/customer RETURN <Picked> $N </Picked>",
+		},
+		"Wrap": {
+			"FOR $P IN document(root)/CustRec RETURN $P",
+			"FOR $O IN document(root)/CustRec/OrderInfo RETURN $O",
+		},
+		"OrderInfo": {
+			"FOR $T IN document(root)/orders RETURN $T",
+			"FOR $T IN document(root)/orders WHERE $T/value > %d RETURN $T",
+		},
+		"customer": {
+			"FOR $N IN document(root)/name RETURN <N> $N </N>",
+		},
+	}
+	ts, ok := templates[label]
+	if !ok {
+		return "", false
+	}
+	t := ts[rng.Intn(len(ts))]
+	switch {
+	case contains(t, "%q"):
+		return fmt.Sprintf(t, string(rune('A'+rng.Intn(26)))), true
+	case contains(t, "%d"):
+		return fmt.Sprintf(t, rng.Intn(250000)), true
+	default:
+		return t, true
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

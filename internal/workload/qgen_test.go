@@ -1,0 +1,40 @@
+package workload_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mix/internal/workload"
+	"mix/internal/xquery"
+)
+
+// TestRandomViewQueryAlwaysParses: the generator's whole output space is
+// syntactically valid (differential tests depend on it).
+func TestRandomViewQueryAlwaysParses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		src := workload.RandomViewQuery(rng)
+		if _, err := xquery.Parse(src); err != nil {
+			t.Fatalf("unparsable generated query:\n%s\n%v", src, err)
+		}
+	}
+}
+
+func TestRandomInPlaceQueryTemplates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	labels := []string{"list", "CustRec", "Wrap", "OrderInfo", "customer"}
+	for _, label := range labels {
+		for i := 0; i < 50; i++ {
+			src, ok := workload.RandomInPlaceQuery(rng, label)
+			if !ok {
+				t.Fatalf("no template for %s", label)
+			}
+			if _, err := xquery.Parse(src); err != nil {
+				t.Fatalf("unparsable in-place query for %s:\n%s\n%v", label, src, err)
+			}
+		}
+	}
+	if _, ok := workload.RandomInPlaceQuery(rng, "no-such-label"); ok {
+		t.Fatal("unknown label must have no template")
+	}
+}

@@ -1,0 +1,73 @@
+package xmas
+
+import "strings"
+
+// Path is a getD path: the sequence of labels on a downward path, including
+// the labels of both the start and the finish node (paper operator 2). A
+// path of length 1 therefore matches the start node itself when its label
+// agrees. The wildcard step "%" matches any label; it is used by internal
+// rewrites that need a "any child" step and never reaches the sources.
+type Path []string
+
+// Wildcard is the any-label path step.
+const Wildcard = "%"
+
+// ParsePath splits "customer.id" (the paper writes paths with dots in plans)
+// into its steps. Slashes are accepted as separators too.
+func ParsePath(s string) Path {
+	if s == "" {
+		return nil
+	}
+	return Path(strings.FieldsFunc(s, func(r rune) bool { return r == '.' || r == '/' }))
+}
+
+func (p Path) String() string { return strings.Join(p, ".") }
+
+// First returns the first step, or "".
+func (p Path) First() string {
+	if len(p) == 0 {
+		return ""
+	}
+	return p[0]
+}
+
+// Rest returns the path with the first step removed.
+func (p Path) Rest() Path {
+	if len(p) <= 1 {
+		return nil
+	}
+	return p[1:]
+}
+
+// Concat returns p followed by q.
+func (p Path) Concat(q Path) Path {
+	out := make(Path, 0, len(p)+len(q))
+	out = append(out, p...)
+	return append(out, q...)
+}
+
+// Prepend returns the path with step in front.
+func (p Path) Prepend(step string) Path {
+	out := make(Path, 0, len(p)+1)
+	out = append(out, step)
+	return append(out, p...)
+}
+
+// Equal reports step-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StepMatches reports whether path step matches the label, honoring the
+// wildcard.
+func StepMatches(step, label string) bool {
+	return step == Wildcard || step == label
+}

@@ -1,0 +1,106 @@
+package xmas
+
+import (
+	"strings"
+	"testing"
+
+	"mix/internal/xtree"
+)
+
+func TestDescribeAllOperators(t *testing.T) {
+	mk := &MkSrc{SrcID: "&d", Out: "$A"}
+	cond := NewVarVarCond("$A", xtree.OpEQ, "$B")
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{mk, "mkSrc(&d, $A)"},
+		{&GetD{In: mk, From: "$A", Path: ParsePath("a.b"), Out: "$X"}, "getD($A.a.b -> $X)"},
+		{&Select{In: mk, Cond: NewVarConstCond("$A", xtree.OpLT, "5")}, "select($A < 5)"},
+		{&Project{In: mk, Vars: []Var{"$A"}}, "project($A)"},
+		{&Join{L: mk, R: &MkSrc{SrcID: "&e", Out: "$B"}, Cond: &cond}, "join($A = $B)"},
+		{&Join{L: mk, R: &MkSrc{SrcID: "&e", Out: "$B"}}, "join(×)"},
+		{&SemiJoin{L: mk, R: &MkSrc{SrcID: "&e", Out: "$B"}, Cond: &cond, Keep: KeepLeft}, "Rsemijoin($A = $B)"},
+		{&SemiJoin{L: mk, R: &MkSrc{SrcID: "&e", Out: "$B"}, Cond: &cond, Keep: KeepRight}, "Lsemijoin($A = $B)"},
+		{&CrElt{In: mk, Label: "x", SkolemFn: "f", GroupVars: []Var{"$A"},
+			Children: ChildSpec{V: "$A", Wrap: true}, Out: "$V"}, "crElt(x, f($A), list($A) -> $V)"},
+		{&Cat{In: mk, X: ChildSpec{V: "$A", Wrap: true}, Y: ChildSpec{V: "$A"}, Out: "$W"}, "cat(list($A), $A -> $W)"},
+		{&TD{In: mk, V: "$A"}, "tD($A)"},
+		{&TD{In: mk, V: "$A", RootID: "r"}, "tD($A, r)"},
+		{&GroupBy{In: mk, Keys: []Var{"$A"}, Out: "$X"}, "gBy([$A] -> $X)"},
+		{&GroupBy{In: mk, Keys: []Var{"$A"}, Out: "$X", Presorted: true}, "gBy([$A] -> $X presorted)"},
+		{&NestedSrc{V: "$X", Vars: []Var{"$A"}}, "nSrc($X)"},
+		{&OrderBy{In: mk, Vars: []Var{"$A"}}, "orderBy($A)"},
+		{&Empty{Vars: []Var{"$A"}}, "empty($A)"},
+	}
+	for _, c := range cases {
+		if got := Describe(c.op); got != c.want {
+			t.Errorf("Describe = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDescribeRelQuery(t *testing.T) {
+	rq := &RelQuery{
+		Server: "db1",
+		SQL:    "SELECT id FROM customer",
+		Maps: []VarMap{{
+			V: "$C", ElemLabel: "customer",
+			Cols:    []ColSpec{{Pos: 0, Label: "id"}},
+			KeyCols: []int{0},
+		}},
+	}
+	got := Describe(rq)
+	for _, want := range []string{"rQ(db1", "SELECT id FROM customer", "$C=customer{1:id}"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Describe(rQ) = %q missing %q", got, want)
+		}
+	}
+	if len(rq.Schema()) != 1 || rq.Schema()[0] != "$C" {
+		t.Fatalf("rQ schema = %v", rq.Schema())
+	}
+}
+
+func TestRenameCoversAllOperators(t *testing.T) {
+	mk := &MkSrc{SrcID: "&d", Out: "$A"}
+	cond := NewVarVarCond("$A", xtree.OpEQ, "$B")
+	m := map[Var]Var{"$A": "$A9", "$B": "$B9", "$X": "$X9", "$V": "$V9", "$W": "$W9"}
+	ops := []Op{
+		&Project{In: mk, Vars: []Var{"$A"}},
+		&SemiJoin{L: mk, R: &MkSrc{SrcID: "&e", Out: "$B"}, Cond: &cond, Keep: KeepRight},
+		&OrderBy{In: mk, Vars: []Var{"$A"}},
+		&Empty{Vars: []Var{"$A"}},
+		&RelQuery{Server: "s", SQL: "q", Maps: []VarMap{{V: "$A", KeyCols: []int{0}}}},
+		&Cat{In: mk, X: ChildSpec{V: "$A"}, Y: ChildSpec{V: "$A", Wrap: true}, Out: "$W"},
+	}
+	for _, op := range ops {
+		ren := Rename(op, m)
+		vars := AllVars(ren)
+		if vars["$A"] || vars["$B"] {
+			t.Errorf("%s: old vars survive: %v", op.Name(), vars)
+		}
+	}
+}
+
+func TestCloneRelQueryIndependence(t *testing.T) {
+	rq := &RelQuery{Server: "s", SQL: "q", Maps: []VarMap{{V: "$A", KeyCols: []int{0}, Cols: []ColSpec{{Pos: 0, Label: "x"}}}}}
+	c := Clone(rq).(*RelQuery)
+	c.Maps[0].V = "$B"
+	if rq.Maps[0].V != "$A" {
+		t.Fatal("clone shares map slice header mutation")
+	}
+}
+
+func TestEqualNegativeCases(t *testing.T) {
+	a := &MkSrc{SrcID: "&d", Out: "$A"}
+	b := &MkSrc{SrcID: "&e", Out: "$A"}
+	if Equal(a, b) {
+		t.Fatal("different src ids must differ")
+	}
+	if Equal(a, &Select{In: a, Cond: NewVarConstCond("$A", xtree.OpEQ, "x")}) {
+		t.Fatal("different operators must differ")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) {
+		t.Fatal("nil handling")
+	}
+}

@@ -1,0 +1,80 @@
+package xmlio
+
+import (
+	"strings"
+
+	"mix/internal/xtree"
+)
+
+// Serialize renders a labeled tree back to XML text. Leaves become character
+// content; interior nodes become elements. A node whose children are all
+// leaves is rendered on one line.
+func Serialize(n *xtree.Node) string {
+	var b strings.Builder
+	writeXML(&b, n, 0, false)
+	return b.String()
+}
+
+// SerializeIndent renders the tree with two-space indentation.
+func SerializeIndent(n *xtree.Node) string {
+	var b strings.Builder
+	writeXML(&b, n, 0, true)
+	return b.String()
+}
+
+func writeXML(b *strings.Builder, n *xtree.Node, depth int, indent bool) {
+	if n == nil {
+		return
+	}
+	pad := ""
+	if indent {
+		pad = strings.Repeat("  ", depth)
+	}
+	if n.IsLeaf() {
+		b.WriteString(pad)
+		b.WriteString(escapeText(n.Label))
+		if indent {
+			b.WriteByte('\n')
+		}
+		return
+	}
+	b.WriteString(pad)
+	b.WriteByte('<')
+	b.WriteString(n.Label)
+	b.WriteByte('>')
+
+	inline := true
+	for _, c := range n.Children {
+		if !c.IsLeaf() {
+			inline = false
+			break
+		}
+	}
+	if inline {
+		for _, c := range n.Children {
+			b.WriteString(escapeText(c.Label))
+		}
+	} else {
+		if indent {
+			b.WriteByte('\n')
+		}
+		for _, c := range n.Children {
+			writeXML(b, c, depth+1, indent)
+		}
+		b.WriteString(pad)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Label)
+	b.WriteByte('>')
+	if indent {
+		b.WriteByte('\n')
+	}
+}
+
+func escapeText(s string) string {
+	if !strings.ContainsAny(s, "<>&") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

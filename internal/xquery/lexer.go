@@ -1,0 +1,179 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex scans the whole input; the parser then works over the token slice,
+// which keeps backtracking (needed for distinguishing tags from comparisons)
+// trivial.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &ParseError{Pos: l.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.pos++
+		case c == '%': // paper-style line comment
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "(:"): // XQuery comment
+			end := strings.Index(l.src[l.pos:], ":)")
+			if end < 0 {
+				return l.errorf("unterminated (: comment")
+			}
+			l.pos += end + 2
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '$':
+		l.pos++
+		if l.pos >= len(l.src) || !isIdentStart(l.src[l.pos]) {
+			return token{}, l.errorf("'$' must be followed by a variable name")
+		}
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokVar, text: l.src[start:l.pos], pos: start}, nil
+	case c == '&':
+		l.pos++
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start+1 {
+			return token{}, l.errorf("'&' must be followed by an object id")
+		}
+		return token{kind: tokOID, text: l.src[start:l.pos], pos: start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case isDigit(c):
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '"':
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], '"')
+		if end < 0 {
+			return token{}, l.errorf("unterminated string literal")
+		}
+		text := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokString, text: text, pos: start}, nil
+	case c == '/':
+		l.pos++
+		return token{kind: tokSlash, pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == '{':
+		l.pos++
+		return token{kind: tokLBrace, pos: start}, nil
+	case c == '}':
+		l.pos++
+		return token{kind: tokRBrace, pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, pos: start}, nil
+	case c == '[':
+		l.pos++
+		return token{kind: tokLBracket, pos: start}, nil
+	case c == ']':
+		l.pos++
+		return token{kind: tokRBracket, pos: start}, nil
+	case c == '=':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokEQ, pos: start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokNE, pos: start}, nil
+		}
+		return token{}, l.errorf("unexpected '!'")
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '=':
+				l.pos++
+				return token{kind: tokLE, pos: start}, nil
+			case '/':
+				l.pos++
+				return token{kind: tokLTSlash, pos: start}, nil
+			case '>':
+				l.pos++
+				return token{kind: tokNE, pos: start}, nil
+			}
+		}
+		return token{kind: tokLT, pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokGE, pos: start}, nil
+		}
+		return token{kind: tokGT, pos: start}, nil
+	}
+	return token{}, l.errorf("unexpected character %q", string(c))
+}

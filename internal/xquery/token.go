@@ -1,0 +1,75 @@
+// Package xquery implements the XQuery subset of paper Figure 4 — FOR/WHERE/
+// RETURN queries with simple path expressions — augmented with the group-by
+// list extension of [Draper et al.] that the paper adopts ("OptGroupByList"),
+// plus the lexical conventions of the paper's examples: `%` line comments,
+// (: ... :) XQuery comments, object-id constants such as &root1, and the
+// data() suffix in WHERE operands.
+//
+// Three extensions go beyond Figure 4 (the paper excludes them from its
+// path language; they compile onto the same algebra): '*' wildcard path
+// steps, path predicates (`/OrderInfo[orders/value > 100]`, desugared at
+// parse time into fresh bindings plus WHERE conjuncts), and an ORDER BY
+// clause mapping onto the XMAS orderBy operator (which sorts by node ids).
+package xquery
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVar    // $C
+	tokString // "B"
+	tokNumber // 300, 0.4
+	tokOID    // &root1
+	tokSlash
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokLT // <  (relop in WHERE, tag open in RETURN)
+	tokGT // >
+	tokLE
+	tokGE
+	tokEQ
+	tokNE
+	tokLTSlash  // </
+	tokStar     // * (wildcard path step)
+	tokLBracket // [ (path predicate)
+	tokRBracket // ]
+)
+
+var tokenNames = map[tokenKind]string{
+	tokEOF: "end of input", tokIdent: "identifier", tokVar: "variable",
+	tokString: "string", tokNumber: "number", tokOID: "object id",
+	tokSlash: "'/'", tokLParen: "'('", tokRParen: "')'",
+	tokLBrace: "'{'", tokRBrace: "'}'", tokComma: "','",
+	tokLT: "'<'", tokGT: "'>'", tokLE: "'<='", tokGE: "'>='",
+	tokEQ: "'='", tokNE: "'!='", tokLTSlash: "'</'", tokStar: "'*'",
+	tokLBracket: "'['", tokRBracket: "']'",
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error reporting
+}
+
+func (t token) String() string {
+	if t.text != "" {
+		return fmt.Sprintf("%s %q", tokenNames[t.kind], t.text)
+	}
+	return tokenNames[t.kind]
+}
+
+// ParseError reports a syntactically invalid query.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xquery: offset %d: %s", e.Pos, e.Msg)
+}

@@ -1,0 +1,191 @@
+package xtree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTree() *Node {
+	return NewElem("&XYZ123", "customer",
+		NewElem("&4", "id", Text("XYZ123")),
+		NewElem("&5", "name", Text("XYZInc.")),
+		NewElem("&6", "addr", Text("LosAngeles")),
+	)
+}
+
+func TestLeafAndValue(t *testing.T) {
+	leaf := NewLeaf("&1", "42")
+	if !leaf.IsLeaf() {
+		t.Fatal("leaf not recognized")
+	}
+	v, ok := leaf.Value()
+	if !ok || v != "42" {
+		t.Fatalf("Value() = %q, %v", v, ok)
+	}
+	elem := sampleTree()
+	if elem.IsLeaf() {
+		t.Fatal("element misclassified as leaf")
+	}
+	if _, ok := elem.Value(); ok {
+		t.Fatal("fv on a non-leaf must return ⊥ (false)")
+	}
+}
+
+func TestAtom(t *testing.T) {
+	cases := []struct {
+		node *Node
+		want string
+		ok   bool
+	}{
+		{Text("v"), "v", true},
+		{NewElem("", "id", Text("XYZ")), "XYZ", true},
+		{sampleTree(), "", false},
+		{NewElem("", "e", NewElem("", "f", Text("x"))), "", false},
+		{nil, "", false},
+	}
+	for i, c := range cases {
+		got, ok := c.node.Atom()
+		if got != c.want || ok != c.ok {
+			t.Errorf("case %d: Atom() = %q,%v want %q,%v", i, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestFirstChildAndChildIndex(t *testing.T) {
+	tr := sampleTree()
+	fc := tr.FirstChild()
+	if fc == nil || fc.Label != "id" {
+		t.Fatalf("FirstChild = %v", fc)
+	}
+	if tr.ChildIndex(fc) != 0 {
+		t.Fatalf("ChildIndex(first) = %d", tr.ChildIndex(fc))
+	}
+	if tr.ChildIndex(tr.Children[2]) != 2 {
+		t.Fatal("ChildIndex(third) wrong")
+	}
+	if tr.ChildIndex(NewLeaf("", "zzz")) != -1 {
+		t.Fatal("ChildIndex of a stranger must be -1")
+	}
+	var leaf *Node = NewLeaf("", "x")
+	if leaf.FirstChild() != nil {
+		t.Fatal("d(leaf) must be nil")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := sampleTree()
+	c := orig.Clone()
+	if !Equal(orig, c) {
+		t.Fatal("clone differs")
+	}
+	c.Children[0].Children[0].Label = "MUTATED"
+	if Equal(orig, c) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestEqualAndEqualShape(t *testing.T) {
+	a := sampleTree()
+	b := sampleTree()
+	if !Equal(a, b) || !EqualShape(a, b) {
+		t.Fatal("identical trees must be equal")
+	}
+	b.ID = "&other"
+	if Equal(a, b) {
+		t.Fatal("Equal must compare ids")
+	}
+	if !EqualShape(a, b) {
+		t.Fatal("EqualShape must ignore ids")
+	}
+	b.Children[0].Label = "ID"
+	if EqualShape(a, b) {
+		t.Fatal("EqualShape must compare labels")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) || Equal(nil, a) {
+		t.Fatal("nil handling")
+	}
+}
+
+func TestWalkOrderAndPruning(t *testing.T) {
+	var labels []string
+	sampleTree().Walk(func(n *Node) bool {
+		labels = append(labels, n.Label)
+		return n.Label != "name" // prune below name
+	})
+	want := "customer id XYZ123 name addr LosAngeles"
+	if strings.Join(labels, " ") != want {
+		t.Fatalf("walk order = %v", labels)
+	}
+}
+
+func TestSizeDepthFind(t *testing.T) {
+	tr := sampleTree()
+	if tr.Size() != 7 {
+		t.Fatalf("Size = %d, want 7", tr.Size())
+	}
+	if tr.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", tr.Depth())
+	}
+	if tr.Find("addr") == nil {
+		t.Fatal("Find(addr) failed")
+	}
+	if tr.Find("nothere") != nil {
+		t.Fatal("Find of absent label must be nil")
+	}
+	if got := len(tr.FindAll("id")); got != 1 {
+		t.Fatalf("FindAll(id) = %d", got)
+	}
+	var empty *Node
+	if empty.Size() != 0 || empty.Depth() != 0 {
+		t.Fatal("nil tree size/depth")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tr := NewElem("&1", "a", NewElem("&2", "b", Text("v")))
+	if got := tr.String(); got != "a[b[v]]" {
+		t.Fatalf("String = %q", got)
+	}
+	pretty := tr.Pretty()
+	if !strings.Contains(pretty, "&1 a") || !strings.Contains(pretty, "  &2 b") {
+		t.Fatalf("Pretty = %q", pretty)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	n := NewElem("", "p")
+	n.Append(Text("a")).Append(Text("b"), Text("c"))
+	if len(n.Children) != 3 {
+		t.Fatalf("Append produced %d children", len(n.Children))
+	}
+}
+
+// Property: Clone always yields an Equal tree and mutating it never affects
+// the original (checked on randomized label paths).
+func TestCloneProperty(t *testing.T) {
+	f := func(labels []string) bool {
+		n := NewElem("&root", "root")
+		cur := n
+		for _, l := range labels {
+			if l == "" {
+				l = "x"
+			}
+			child := NewElem("", l)
+			cur.Append(child)
+			cur = child
+		}
+		c := n.Clone()
+		if !Equal(n, c) {
+			return false
+		}
+		if len(labels) > 0 {
+			c.Children[0].Label += "!"
+			return !Equal(n, c)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

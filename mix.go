@@ -1,0 +1,471 @@
+// Package mix is a Go reproduction of the MIX mediator ("Mixing Querying
+// and Navigation in MIX", ICDE 2002). It exports virtual XML views of
+// relational and XML sources and lets clients interleave querying and
+// navigation over them through the QDOM model:
+//
+//	med := mix.New()
+//	med.AddRelationalSource(db)
+//	med.DefineView("rootv", `FOR $C IN document(&db1.customer)/customer ... RETURN ...`)
+//	doc, _ := med.Query(`FOR $R IN document(rootv)/CustRec WHERE ... RETURN $R`)
+//	n := doc.Root().Down()            // navigate: d, r, fl, fv
+//	sub, _ := med.QueryFrom(n, `FOR $O IN document(root)/OrderInfo WHERE ... RETURN $O`)
+//
+// Queries are the XQuery subset of the paper's Figure 4 (FOR/WHERE/RETURN
+// with group-by lists). Results are virtual: source data is fetched only as
+// navigation demands it, and an in-place query issued from a visited node is
+// decontextualized into source queries rather than evaluated on materialized
+// data.
+package mix
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"mix/internal/compose"
+	"mix/internal/engine"
+	"mix/internal/qdom"
+	"mix/internal/relstore"
+	"mix/internal/rewrite"
+	"mix/internal/source"
+	"mix/internal/sqlgen"
+	"mix/internal/translate"
+	"mix/internal/xmas"
+	"mix/internal/xmlio"
+	"mix/internal/xquery"
+	"mix/internal/xtree"
+)
+
+// Config tunes the mediator's optimizer; the zero value enables everything.
+// The ablation experiments disable stages selectively.
+type Config struct {
+	// DisableRewrite skips the Table 2 rewriting optimizer: composed
+	// queries run in their naive form (paper Figure 13).
+	DisableRewrite bool
+	// DisablePushdown skips SQL generation: plans access relational
+	// sources through unconstrained wrapper scans.
+	DisablePushdown bool
+	// RewriteOptions tunes individual rule groups when rewriting is on.
+	RewriteOptions rewrite.Options
+}
+
+// Mediator integrates sources, maintains views, and serves QDOM documents.
+type Mediator struct {
+	cfg    Config
+	cat    *source.Catalog
+	views  map[string]*View
+	nextID atomic.Int64
+
+	// childLabels collects exhaustive child-label sets from relational
+	// schemas (relation label → column names) for the schema-unsat rule.
+	childLabels map[string][]string
+}
+
+// View is a named virtual XML view over the sources.
+type View struct {
+	// Name is the document id clients use: document(<name>).
+	Name string
+	// Query is the view definition.
+	Query *xquery.Query
+	// ComposePlan is the optimized plan before SQL generation; in-place
+	// queries compose against it (its crElt structure drives Table 2).
+	ComposePlan xmas.Op
+	// ExecPlan is the runnable plan with relational subplans carved into
+	// SQL (paper Figure 22).
+	ExecPlan xmas.Op
+	// Tags maps variables to element labels, as decontextualization needs.
+	Tags map[xmas.Var]string
+}
+
+// New creates a mediator with default configuration.
+func New() *Mediator { return NewWith(Config{}) }
+
+// NewWith creates a mediator with explicit configuration.
+func NewWith(cfg Config) *Mediator {
+	return &Mediator{
+		cfg:         cfg,
+		cat:         source.NewCatalog(),
+		views:       map[string]*View{},
+		childLabels: map[string][]string{},
+	}
+}
+
+// Catalog exposes the source catalog (experiments read transfer counters
+// through it).
+func (m *Mediator) Catalog() *source.Catalog { return m.cat }
+
+// Stats aggregates the transfer counters of all relational sources.
+func (m *Mediator) Stats() relstore.Stats { return m.cat.Stats() }
+
+// ResetStats zeroes all relational source counters.
+func (m *Mediator) ResetStats() { m.cat.ResetStats() }
+
+// AddRelationalSource registers a relational server; each of its relations
+// becomes a navigable virtual document "&<server>.<relation>" (paper
+// Figure 2). The relation schemas also feed the optimizer's schema-unsat
+// rule: a tuple element's children are exactly its columns.
+func (m *Mediator) AddRelationalSource(db *relstore.DB) {
+	m.cat.AddRelDB(db)
+	for _, rel := range db.Relations() {
+		t, _ := db.Table(rel)
+		cols := make([]string, len(t.Schema.Columns))
+		for i, c := range t.Schema.Columns {
+			cols[i] = c.Name
+		}
+		m.childLabels[rel] = cols
+	}
+}
+
+// AddXMLDocument registers an in-memory XML document under id.
+func (m *Mediator) AddXMLDocument(id string, root *xtree.Node) {
+	m.cat.AddXMLDoc(id, root)
+}
+
+// AddXMLSource parses xml and registers it under id. Every element receives
+// a deterministic object id derived from the source id and its preorder
+// position, so XML-sourced nodes are addressable — skolem ids, duplicate
+// elimination and decontextualization all depend on node identity (paper
+// Section 2: ids "may be random surrogates").
+func (m *Mediator) AddXMLSource(id, xml string) error {
+	prefix := strings.TrimPrefix(id, "&")
+	root, err := xmlio.ParseWith(xml, xmlio.Options{IDPrefix: prefix})
+	if err != nil {
+		return err
+	}
+	root.ID = xtree.ID(id)
+	m.cat.AddXMLDoc(id, root)
+	return nil
+}
+
+// AliasSource makes alias resolve like target (so views can use the paper's
+// &root1-style names).
+func (m *Mediator) AliasSource(alias, target string) error {
+	return m.cat.Alias(alias, target)
+}
+
+// DefineView registers a virtual view. Client queries may then range over
+// document(<name>). The definition is translated and optimized once.
+func (m *Mediator) DefineView(name, query string) (*View, error) {
+	q, err := xquery.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("mix: view %s: %w", name, err)
+	}
+	tr, err := translate.Translate(q, name)
+	if err != nil {
+		return nil, fmt.Errorf("mix: view %s: %w", name, err)
+	}
+	composePlan, execPlan, err := m.optimize(tr.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("mix: view %s: %w", name, err)
+	}
+	v := &View{Name: name, Query: q, ComposePlan: composePlan, ExecPlan: execPlan, Tags: tr.Tags}
+	m.views[name] = v
+	return v, nil
+}
+
+// View returns a registered view.
+func (m *Mediator) View(name string) (*View, bool) {
+	v, ok := m.views[name]
+	return v, ok
+}
+
+// optimize runs the rewriter and SQL generation per configuration and
+// returns (composable plan, executable plan).
+func (m *Mediator) optimize(plan xmas.Op) (composePlan, execPlan xmas.Op, err error) {
+	composePlan = plan
+	if !m.cfg.DisableRewrite {
+		opts := m.cfg.RewriteOptions
+		if opts.ChildLabels == nil {
+			opts.ChildLabels = m.childLabels
+		}
+		composePlan, _, err = rewrite.Optimize(plan, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	execPlan = composePlan
+	if !m.cfg.DisablePushdown {
+		execPlan, err = sqlgen.Push(composePlan, m.cat)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return composePlan, execPlan, nil
+}
+
+// run compiles and starts a plan, wrapping the virtual result as a QDOM
+// document whose origin supports further in-place queries.
+func (m *Mediator) run(composePlan, execPlan xmas.Op, tags map[xmas.Var]string) (*qdom.Document, error) {
+	prog, err := engine.Compile(execPlan, m.cat)
+	if err != nil {
+		return nil, err
+	}
+	res := prog.Run()
+	return qdom.NewDocument(res, &qdom.Origin{Plan: composePlan, Tags: tags}), nil
+}
+
+// planQuery parses-ahead planning shared by Query, QueryWithMetrics and
+// Explain: view references compose and decontextualize (paper Section 6);
+// everything is optimized per the mediator's configuration.
+func (m *Mediator) planQuery(q *xquery.Query) (composePlan, execPlan xmas.Op, tags map[xmas.Var]string, err error) {
+	if v := m.referencedView(q); v != nil {
+		composed, err := compose.Decontextualize(v.originPlan(), qdom.Context{FromRoot: true}, q, v.Name, m.freshID("result"))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		composePlan, execPlan, err = m.optimize(composed.Plan)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return composePlan, execPlan, composed.Tags, nil
+	}
+	tr, err := translate.Translate(q, m.freshID("result"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	composePlan, execPlan, err = m.optimize(tr.Plan)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return composePlan, execPlan, tr.Tags, nil
+}
+
+// ExplainTrace plans a query like Explain but also returns the rewrite
+// trace: one rendered plan per applied rule, the live counterpart of the
+// paper's Figures 14-21 walk-through. Nothing is shipped to any source.
+func (m *Mediator) ExplainTrace(query string) (steps []TraceStep, executable string, err error) {
+	q, err := xquery.Parse(query)
+	if err != nil {
+		return nil, "", err
+	}
+	var plan xmas.Op
+	if v := m.referencedView(q); v != nil {
+		// Trace from the naive composition so the view-unfolding steps
+		// show up, as in Figure 13.
+		naive, err := compose.NaiveCompose(v.originPlan(), q, v.Name, m.freshID("result"))
+		if err != nil {
+			return nil, "", err
+		}
+		plan = naive.Plan
+	} else {
+		tr, err := translate.Translate(q, m.freshID("result"))
+		if err != nil {
+			return nil, "", err
+		}
+		plan = tr.Plan
+	}
+	steps = append(steps, TraceStep{Rule: "translate", Plan: xmas.Format(plan)})
+	opts := m.cfg.RewriteOptions
+	if opts.ChildLabels == nil {
+		opts.ChildLabels = m.childLabels
+	}
+	opt, trace, err := rewrite.Optimize(plan, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, s := range trace {
+		steps = append(steps, TraceStep{Rule: s.Rule, Plan: s.Plan})
+	}
+	exec := opt
+	if !m.cfg.DisablePushdown {
+		exec, err = sqlgen.Push(opt, m.cat)
+		if err != nil {
+			return nil, "", err
+		}
+		steps = append(steps, TraceStep{Rule: "sql-split", Plan: xmas.Format(exec)})
+	}
+	return steps, xmas.Format(exec), nil
+}
+
+// TraceStep is one applied rewrite in an ExplainTrace result.
+type TraceStep struct {
+	Rule string
+	Plan string
+}
+
+// Query parses, plans and starts a query. FOR clauses may range over
+// registered source documents or over registered views; view references are
+// composed and decontextualized (paper Section 6), never materialized.
+func (m *Mediator) Query(query string) (*qdom.Document, error) {
+	q, err := xquery.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	composePlan, execPlan, tags, err := m.planQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return m.run(composePlan, execPlan, tags)
+}
+
+// QueryWithMetrics is Query with per-operator mediator-work accounting:
+// navigation into the returned document updates the metrics, showing how
+// many tuples each algebra operator produced under demand.
+func (m *Mediator) QueryWithMetrics(query string) (*qdom.Document, *engine.Metrics, error) {
+	q, err := xquery.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	composePlan, execPlan, tags, err := m.planQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := engine.Compile(execPlan, m.cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, metrics := prog.RunWithMetrics()
+	return qdom.NewDocument(res, &qdom.Origin{Plan: composePlan, Tags: tags}), metrics, nil
+}
+
+// Explain plans a query exactly like Query but returns the plans instead of
+// running anything: the optimized algebraic plan and the executable plan
+// with its relational subplans carved into SQL. Nothing is shipped to any
+// source.
+func (m *Mediator) Explain(query string) (optimized, executable string, err error) {
+	q, err := xquery.Parse(query)
+	if err != nil {
+		return "", "", err
+	}
+	composePlan, execPlan, _, err := m.planQuery(q)
+	if err != nil {
+		return "", "", err
+	}
+	return xmas.Format(composePlan), xmas.Format(execPlan), nil
+}
+
+// Explain renders the view's plans: the optimized algebraic form and the
+// executable form with generated SQL.
+func (v *View) Explain() (optimized, executable string) {
+	return xmas.Format(v.ComposePlan), xmas.Format(v.ExecPlan)
+}
+
+// MustQuery panics on error; examples and fixtures.
+func (m *Mediator) MustQuery(query string) *qdom.Document {
+	d, err := m.Query(query)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// QueryFrom issues an in-place query from a node reached by navigation (the
+// QDOM q command, paper Section 2). The query's document(root) refers to the
+// node. When the node's position can be conveyed to the sources the query is
+// decontextualized (Section 5); otherwise the mediator falls back to
+// materializing the subtree — the strategy the paper rejects for the common
+// case, kept for completeness and measured in experiment E12.
+func (m *Mediator) QueryFrom(node *qdom.Node, query string) (*qdom.Document, error) {
+	q, err := xquery.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	ctx, ok := node.Context()
+	origin := node.Doc().Origin()
+	if ok && origin != nil {
+		doc, err := m.composeAndRun(&compose.OriginPlan{Plan: origin.Plan, Tags: origin.Tags}, ctx, q, "root")
+		if err == nil {
+			return doc, nil
+		}
+		// Fall through to materialization only for positions that cannot
+		// be decontextualized; real errors surface.
+		if !isNotDecontextualizable(err) {
+			return nil, err
+		}
+	}
+	return m.queryMaterialized(node, q)
+}
+
+// QueryFromMaterialized answers an in-place query by materializing the
+// subtree below the node and evaluating locally — the rejected baseline,
+// exported for experiment E12.
+func (m *Mediator) QueryFromMaterialized(node *qdom.Node, query string) (*qdom.Document, error) {
+	q, err := xquery.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return m.queryMaterialized(node, q)
+}
+
+func (m *Mediator) queryMaterialized(node *qdom.Node, q *xquery.Query) (*qdom.Document, error) {
+	sub := compose.MaterializeFallback(node)
+	tmpID := m.freshID("ctx")
+	m.cat.AddXMLDoc(tmpID, sub)
+	redirected := redirectRoot(q, tmpID)
+	tr, err := translate.Translate(redirected, m.freshID("result"))
+	if err != nil {
+		return nil, err
+	}
+	composePlan, execPlan, err := m.optimize(tr.Plan)
+	if err != nil {
+		return nil, err
+	}
+	return m.run(composePlan, execPlan, tr.Tags)
+}
+
+func (m *Mediator) composeAndRun(origin *compose.OriginPlan, ctx qdom.Context, q *xquery.Query, rootName string) (*qdom.Document, error) {
+	composed, err := compose.Decontextualize(origin, ctx, q, rootName, m.freshID("result"))
+	if err != nil {
+		return nil, err
+	}
+	composePlan, execPlan, err := m.optimize(composed.Plan)
+	if err != nil {
+		return nil, err
+	}
+	return m.run(composePlan, execPlan, composed.Tags)
+}
+
+// referencedView returns the view a query's FOR clause ranges over, if any.
+func (m *Mediator) referencedView(q *xquery.Query) *View {
+	for _, fb := range q.For {
+		if fb.Source == "" {
+			continue
+		}
+		name := fb.Source
+		if len(name) > 0 && name[0] == '&' {
+			name = name[1:]
+		}
+		if v, ok := m.views[name]; ok {
+			return v
+		}
+		if v, ok := m.views[fb.Source]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (v *View) originPlan() *compose.OriginPlan {
+	return &compose.OriginPlan{Plan: v.ComposePlan, Tags: v.Tags}
+}
+
+// Open starts an execution of a registered view itself, returning its
+// virtual document (clients usually navigate here first, then refine).
+func (m *Mediator) Open(viewName string) (*qdom.Document, error) {
+	v, ok := m.views[viewName]
+	if !ok {
+		return nil, fmt.Errorf("mix: unknown view %s", viewName)
+	}
+	return m.run(v.ComposePlan, v.ExecPlan, v.Tags)
+}
+
+func (m *Mediator) freshID(prefix string) string {
+	return fmt.Sprintf("%s%d", prefix, m.nextID.Add(1))
+}
+
+func isNotDecontextualizable(err error) bool {
+	return errors.Is(err, compose.ErrNotDecontextualizable)
+}
+
+// redirectRoot rewrites document(root) references to a new source id.
+func redirectRoot(q *xquery.Query, newID string) *xquery.Query {
+	out := *q
+	out.For = append([]xquery.ForBinding{}, q.For...)
+	for i, fb := range out.For {
+		if fb.Source == "root" || fb.Source == "&root" {
+			out.For[i].Source = newID
+		}
+	}
+	return &out
+}

@@ -22,8 +22,9 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:7713", "listen address")
-		n    = flag.Int("n", 1000, "generated customers")
+		addr       = flag.String("addr", "127.0.0.1:7713", "listen address")
+		n          = flag.Int("n", 1000, "generated customers")
+		maxHandles = flag.Int("max-handles", wire.DefaultMaxHandles, "per-session node handle limit")
 	)
 	flag.Parse()
 
@@ -37,7 +38,10 @@ func main() {
 	l, err := net.Listen("tcp", *addr)
 	fail(err)
 	fmt.Printf("mixserve: CustRec view over %d customers on %s\n", *n, l.Addr())
-	fail(wire.NewServer(med).Serve(l))
+	srv := wire.NewServer(med)
+	srv.MaxHandles = *maxHandles
+	srv.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "mixserve:", err) }
+	fail(srv.Serve(l))
 }
 
 func fail(err error) {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,11 +15,17 @@ import (
 )
 
 // Ctx carries per-execution state: the source catalog, optional metrics,
-// and, inside nested plans, the partition bindings read by nestedSrc.
+// execution options, and, inside nested plans, the partition bindings read
+// by nestedSrc.
 type Ctx struct {
 	cat     *source.Catalog
 	nested  map[xmas.Var]SetVal
 	metrics *Metrics
+	opts    Options
+	// partial collects sources that dropped out mid-scan under
+	// Options.PartialResults (nil under fail-fast); the result loop turns
+	// them into annotation elements. Shared by nested/inner contexts.
+	partial *[]*source.SourceUnavailableError
 }
 
 // NewCtx builds a top-level execution context over a catalog.
@@ -27,12 +34,27 @@ func NewCtx(cat *source.Catalog) *Ctx {
 }
 
 func (c *Ctx) withNested(v xmas.Var, s SetVal) *Ctx {
-	child := &Ctx{cat: c.cat, metrics: c.metrics, nested: map[xmas.Var]SetVal{}}
+	child := &Ctx{cat: c.cat, metrics: c.metrics, opts: c.opts, partial: c.partial, nested: map[xmas.Var]SetVal{}}
 	for k, val := range c.nested {
 		child.nested[k] = val
 	}
 	child.nested[v] = s
 	return child
+}
+
+// noteUnavailable records a mid-scan source loss under the partial-result
+// policy; returns false when the policy is off or the error is not a
+// source-availability failure (the caller then propagates it).
+func (c *Ctx) noteUnavailable(err error) bool {
+	if c.partial == nil {
+		return false
+	}
+	var sue *source.SourceUnavailableError
+	if !errors.As(err, &sue) {
+		return false
+	}
+	*c.partial = append(*c.partial, sue)
+	return true
 }
 
 // compiledOp instantiates a fresh cursor for one operator.
@@ -105,12 +127,12 @@ func compileMkSrc(o *xmas.MkSrc, cat *source.Catalog) (compiledOp, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: mkSrc(%s) view input: %w", o.SrcID, err)
 		}
-		return func(*Ctx) Cursor {
+		return func(ctx *Ctx) Cursor {
 			var kids *LazyList[*Elem]
 			i := 0
 			return cursorFunc(func() (Tuple, bool, error) {
 				if kids == nil {
-					res := inner.Run()
+					res := inner.startFrom(ctx)
 					kids = res.Root.Kids()
 				}
 				e, ok := kids.Get(i)
@@ -127,19 +149,38 @@ func compileMkSrc(o *xmas.MkSrc, cat *source.Catalog) (compiledOp, error) {
 	if err != nil {
 		return nil, err
 	}
-	return func(*Ctx) Cursor {
+	return func(ctx *Ctx) Cursor {
 		var cur source.ElemCursor
+		var done bool
 		return cursorFunc(func() (Tuple, bool, error) {
+			if done {
+				return Tuple{}, false, nil
+			}
 			if cur == nil {
 				c, err := doc.Open()
 				if err != nil {
+					if ctx.noteUnavailable(err) {
+						done = true
+						return Tuple{}, false, nil
+					}
 					return Tuple{}, false, err
 				}
 				cur = c
 			}
 			n, ok, err := cur.Next()
-			if err != nil || !ok {
+			if err != nil {
+				// Under the partial-result policy a source lost mid-scan
+				// ends the scan instead of failing the query; the result
+				// loop annotates the truncation.
+				if ctx.noteUnavailable(err) {
+					done = true
+					cur.Close()
+					return Tuple{}, false, nil
+				}
 				return Tuple{}, false, err
+			}
+			if !ok {
+				return Tuple{}, false, nil
 			}
 			e := FromNode(n).WithProv(&Provenance{
 				Var:   o.Out,

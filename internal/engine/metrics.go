@@ -96,41 +96,7 @@ func (cc *countingCursor) Next() (Tuple, bool, error) {
 // reads alongside the sources' transfer counters.
 func (p *Program) RunWithMetrics() (*Result, *Metrics) {
 	m := NewMetrics()
-	ctx := NewCtx(p.cat)
+	ctx := p.newCtx()
 	ctx.metrics = m
-	var cur Cursor
-	var runErr error
-	seen := map[string]bool{}
-	kids := NewLazyList(func() (*Elem, bool) {
-		if runErr != nil {
-			return nil, false
-		}
-		if cur == nil {
-			cur = p.inner(ctx)
-		}
-		for {
-			t, ok, err := cur.Next()
-			if err != nil {
-				runErr = err
-				return nil, false
-			}
-			if !ok {
-				return nil, false
-			}
-			nv, isNode := t.MustGet(p.v).(NodeVal)
-			if !isNode || nv.E == nil {
-				continue
-			}
-			e := stampElem(nv.E, p.v)
-			if e.ID != "" {
-				if seen[e.ID] {
-					continue
-				}
-				seen[e.ID] = true
-			}
-			return e, true
-		}
-	})
-	root := NewElem(p.rootID, "list", kids)
-	return &Result{Root: root, err: &runErr}, m
+	return p.start(ctx), m
 }

@@ -8,6 +8,18 @@ import (
 	"mix/internal/xtree"
 )
 
+// Options tunes execution policy; the zero value is the default fail-fast
+// behaviour.
+type Options struct {
+	// PartialResults converts a source that becomes unavailable mid-scan
+	// (source.SourceUnavailableError — e.g. a remote mediator whose
+	// circuit breaker opened) into an annotated, truncated result instead
+	// of a failed one: the scan ends early, the result carries a
+	// SourceUnavailable annotation element per failed source, and
+	// Result.Err stays nil. Other errors always propagate.
+	PartialResults bool
+}
+
 // Program is a compiled XMAS plan, ready to run. Compilation resolves
 // sources and validates the plan; Run is cheap and produces a fresh virtual
 // result document each time.
@@ -17,11 +29,17 @@ type Program struct {
 	v      xmas.Var
 	rootID string
 	cat    *source.Catalog
+	opts   Options
 }
 
-// Compile validates and compiles a plan. The plan must be rooted at tD
-// (every XMAS plan ends with the tuple-destroy operator, paper operator 9).
+// Compile validates and compiles a plan with default (fail-fast) options.
 func Compile(plan xmas.Op, cat *source.Catalog) (*Program, error) {
+	return CompileWith(plan, cat, Options{})
+}
+
+// CompileWith validates and compiles a plan. The plan must be rooted at tD
+// (every XMAS plan ends with the tuple-destroy operator, paper operator 9).
+func CompileWith(plan xmas.Op, cat *source.Catalog, opts Options) (*Program, error) {
 	if err := xmas.Validate(plan); err != nil {
 		return nil, err
 	}
@@ -40,7 +58,7 @@ func Compile(plan xmas.Op, cat *source.Catalog) (*Program, error) {
 	if rootID != "" && rootID[0] != '&' {
 		rootID = "&" + rootID
 	}
-	return &Program{plan: plan, inner: inner, v: td.V, rootID: rootID, cat: cat}, nil
+	return &Program{plan: plan, inner: inner, v: td.V, rootID: rootID, cat: cat, opts: opts}, nil
 }
 
 // Plan returns the plan the program was compiled from.
@@ -49,17 +67,76 @@ func (p *Program) Plan() xmas.Op { return p.plan }
 // Result is the virtual answer document of a query: a root element labeled
 // "list" whose children materialize only as navigation reaches them.
 type Result struct {
-	Root *Elem
-	err  *error
+	Root    *Elem
+	err     *error
+	partial *[]*source.SourceUnavailableError
+}
+
+// Err reports an error encountered while forcing the result. Cursor errors
+// surface as truncated child lists; callers that need to distinguish check
+// Err after navigation. (The QDOM layer re-checks it on every step.)
+func (r *Result) Err() error {
+	if r.err == nil {
+		return nil
+	}
+	return *r.err
+}
+
+// Unavailable lists the sources that dropped out mid-scan when the program
+// ran under Options.PartialResults (each also appears as a
+// SourceUnavailable annotation element in the result). Empty under the
+// default fail-fast policy.
+func (r *Result) Unavailable() []*source.SourceUnavailableError {
+	if r.partial == nil {
+		return nil
+	}
+	out := make([]*source.SourceUnavailableError, len(*r.partial))
+	copy(out, *r.partial)
+	return out
+}
+
+// Materialize forces the whole result into a plain tree — the behaviour of
+// conventional mediators that "compute and return the full result of the
+// user query" (paper Section 1). The eager baseline and tests use it.
+func (r *Result) Materialize() *xtree.Node {
+	return r.Root.Materialize()
 }
 
 // Run starts an execution. No source is contacted until the result's root
 // children are first navigated.
 func (p *Program) Run() *Result {
+	return p.start(p.newCtx())
+}
+
+func (p *Program) newCtx() *Ctx {
 	ctx := NewCtx(p.cat)
+	ctx.opts = p.opts
+	if p.opts.PartialResults {
+		ctx.partial = &[]*source.SourceUnavailableError{}
+	}
+	return ctx
+}
+
+// startFrom runs the program inside an enclosing execution (naive view
+// composition), inheriting the caller's metrics and partial-result state.
+func (p *Program) startFrom(parent *Ctx) *Result {
+	ctx := NewCtx(p.cat)
+	ctx.metrics = parent.metrics
+	ctx.opts = parent.opts
+	ctx.partial = parent.partial
+	return p.start(ctx)
+}
+
+// start drives the compiled cursor into a lazy result. Under the
+// partial-result policy, sources recorded as unavailable during the scan
+// are appended to the child list as SourceUnavailable annotation elements
+// once the cursor is exhausted, so a truncated result is visibly — never
+// silently — partial.
+func (p *Program) start(ctx *Ctx) *Result {
 	var cur Cursor
 	var runErr error
 	seen := map[string]bool{}
+	annotated := 0
 	kids := NewLazyList(func() (*Elem, bool) {
 		if runErr != nil {
 			return nil, false
@@ -74,6 +151,12 @@ func (p *Program) Run() *Result {
 				return nil, false
 			}
 			if !ok {
+				if ctx.partial != nil && annotated < len(*ctx.partial) {
+					note := (*ctx.partial)[annotated]
+					id := xtree.ID(fmt.Sprintf("&unavailable%d(%s)", annotated, note.Source))
+					annotated++
+					return FromNode(xtree.NewElem(id, "SourceUnavailable", xtree.Text(note.Error()))), true
+				}
 				return nil, false
 			}
 			nv, isNode := t.MustGet(p.v).(NodeVal)
@@ -91,24 +174,7 @@ func (p *Program) Run() *Result {
 		}
 	})
 	root := NewElem(p.rootID, "list", kids)
-	return &Result{Root: root, err: &runErr}
-}
-
-// Err reports an error encountered while forcing the result. Cursor errors
-// surface as truncated child lists; callers that need to distinguish check
-// Err after navigation. (The QDOM layer re-checks it on every step.)
-func (r *Result) Err() error {
-	if r.err == nil {
-		return nil
-	}
-	return *r.err
-}
-
-// Materialize forces the whole result into a plain tree — the behaviour of
-// conventional mediators that "compute and return the full result of the
-// user query" (paper Section 1). The eager baseline and tests use it.
-func (r *Result) Materialize() *xtree.Node {
-	return r.Root.Materialize()
+	return &Result{Root: root, err: &runErr, partial: ctx.partial}
 }
 
 // CompileFragment compiles a non-tD subplan into a cursor factory — a

@@ -1,0 +1,128 @@
+package faultnet_test
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"mix/internal/faultnet"
+)
+
+type nopCloser struct{ *bytes.Buffer }
+
+func (nopCloser) Close() error { return nil }
+
+func TestTransparentByDefault(t *testing.T) {
+	var buf bytes.Buffer
+	c := faultnet.Wrap(nopCloser{&buf}, faultnet.Config{})
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 5)
+	if _, err := io.ReadFull(c, out); err != nil || string(out) != "hello" {
+		t.Fatalf("read %q, %v", out, err)
+	}
+	if s := c.Stats(); s != (faultnet.Stats{}) {
+		t.Fatalf("zero config injected faults: %+v", s)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) faultnet.Stats {
+		var buf bytes.Buffer
+		c := faultnet.Wrap(nopCloser{&buf}, faultnet.Config{
+			Seed:           seed,
+			ShortWriteProb: 0.5,
+			GarbleProb:     0.5,
+		})
+		for i := 0; i < 50; i++ {
+			if _, err := c.Write([]byte("0123456789")); err != nil {
+				t.Fatal(err)
+			}
+			out := make([]byte, 10)
+			if _, err := io.ReadFull(c, out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats()
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.ShortWrites == 0 || a.Garbled == 0 {
+		t.Fatalf("schedule injected nothing: %+v", a)
+	}
+}
+
+func TestGarbleCorrupts(t *testing.T) {
+	var buf bytes.Buffer
+	c := faultnet.Wrap(nopCloser{&buf}, faultnet.Config{GarbleProb: 1})
+	payload := []byte("aaaaaaaaaa")
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(payload))
+	if _, err := io.ReadFull(c, out); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(out, payload) {
+		t.Fatal("garble left the payload intact")
+	}
+	if c.Stats().Garbled == 0 {
+		t.Fatal("garble not counted")
+	}
+}
+
+func TestCloseAfterBytes(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := faultnet.Wrap(a, faultnet.Config{CloseAfterBytes: 8})
+	go func() { // drain the peer
+		buf := make([]byte, 64)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := c.Write([]byte("12345678")); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write past the budget must fail")
+	}
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after injected close must fail")
+	}
+	if c.Stats().Closes != 1 {
+		t.Fatalf("closes = %d, want 1", c.Stats().Closes)
+	}
+}
+
+func TestLatencyAndDeadlinePassthrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := faultnet.Wrap(a, faultnet.Config{LatencyProb: 1, Latency: time.Millisecond})
+	if err := c.SetDeadline(time.Now().Add(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// Nobody writes on b: the read must fail by deadline, not hang.
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("read must fail at the deadline")
+	}
+	if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline did not bound the read")
+	}
+	if c.Stats().Latencies == 0 {
+		t.Fatal("latency not injected")
+	}
+}

@@ -20,6 +20,40 @@ import (
 	"mix/internal/xtree"
 )
 
+// SourceUnavailableError reports that a source endpoint could not be
+// reached (or became unreachable mid-scan): a dead lower mediator, an open
+// circuit breaker, a dropped connection. The engine propagates it fail-fast
+// by default; under the opt-in partial-result policy it is converted into a
+// SourceUnavailable annotation element on a truncated result instead.
+type SourceUnavailableError struct {
+	// Source is the document id of the unreachable source.
+	Source string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *SourceUnavailableError) Error() string {
+	return fmt.Sprintf("source %s unavailable: %v", e.Source, e.Err)
+}
+
+func (e *SourceUnavailableError) Unwrap() error { return e.Err }
+
+// Health describes the availability of one source endpoint, in circuit-
+// breaker terms: "closed" (healthy), "open" (failing fast), "half-open"
+// (probing).
+type Health struct {
+	State               string
+	ConsecutiveFailures int
+	LastError           string
+}
+
+// HealthReporter is implemented by source documents that track endpoint
+// availability (e.g. wire.RemoteDoc, which surfaces its client's circuit
+// breaker). Catalog.Health collects them.
+type HealthReporter interface {
+	Health() Health
+}
+
 // ElemCursor delivers the top-level elements of a source document one at a
 // time (the mediator-side view of a source cursor).
 type ElemCursor interface {
@@ -147,6 +181,21 @@ func (c *Catalog) DocIDs() []string {
 		out = append(out, id)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Health reports the availability of every registered source that tracks
+// it (HealthReporter implementors — remote mediators with circuit
+// breakers). Local in-memory sources are always available and are omitted.
+func (c *Catalog) Health() map[string]Health {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := map[string]Health{}
+	for id, d := range c.docs {
+		if hr, ok := d.(HealthReporter); ok {
+			out[id] = hr.Health()
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls fail fast with *CircuitOpenError until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; one probe is admitted to test
+	// whether the endpoint recovered.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// ErrCircuitOpen is the sentinel matched by errors.Is when a call is
+// rejected because the breaker is open; the concrete error is
+// *CircuitOpenError.
+var ErrCircuitOpen = errors.New("wire: circuit open")
+
+// CircuitOpenError reports a call rejected without touching the network
+// because the endpoint's breaker is open.
+type CircuitOpenError struct {
+	// Failures is the consecutive-failure count that opened the breaker.
+	Failures int
+	// Since is when the breaker opened.
+	Since time.Time
+	// LastErr is the failure that tripped it.
+	LastErr error
+}
+
+func (e *CircuitOpenError) Error() string {
+	return fmt.Sprintf("wire: circuit open after %d consecutive failures (last: %v)", e.Failures, e.LastErr)
+}
+
+// Is makes errors.Is(err, ErrCircuitOpen) true.
+func (e *CircuitOpenError) Is(target error) bool { return target == ErrCircuitOpen }
+
+func (e *CircuitOpenError) Unwrap() error { return e.LastErr }
+
+// Breaker is a per-endpoint circuit breaker: closed → open after threshold
+// consecutive failures → half-open after the cooldown, where a single
+// successful probe closes it again and a failed probe re-opens it.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	lastErr     error
+}
+
+// NewBreaker creates a breaker that opens after threshold consecutive
+// failures and probes again after cooldown. threshold <= 0 disables it
+// (Allow always admits). A nil now defaults to time.Now.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+func (b *Breaker) disabled() bool { return b == nil || b.threshold <= 0 }
+
+// Allow reports whether a call may proceed. probe is true when the breaker
+// just moved to half-open and the call should first verify the endpoint
+// (the wire client pings). When the breaker is open and cooling down the
+// call is rejected with *CircuitOpenError.
+func (b *Breaker) Allow() (probe bool, err error) {
+	if b.disabled() {
+		return false, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return false, nil
+	case BreakerHalfOpen:
+		return true, nil
+	default:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true, nil
+		}
+		return false, &CircuitOpenError{Failures: b.consecutive, Since: b.openedAt, LastErr: b.lastErr}
+	}
+}
+
+// Success records a successful call, closing the breaker.
+func (b *Breaker) Success() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.lastErr = nil
+}
+
+// Failure records a failed call; the breaker opens at the threshold, and a
+// half-open probe failure re-opens it immediately.
+func (b *Breaker) Failure(err error) {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	b.lastErr = err
+	if b.state == BreakerHalfOpen || b.consecutive >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	if b.disabled() {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSnapshot is a point-in-time view of a breaker, surfaced through
+// source.Catalog.Health for operators.
+type BreakerSnapshot struct {
+	State               BreakerState
+	ConsecutiveFailures int
+	LastErr             error
+}
+
+// Snapshot returns the breaker's current state and counters.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	if b.disabled() {
+		return BreakerSnapshot{State: BreakerClosed}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{State: b.state, ConsecutiveFailures: b.consecutive, LastErr: b.lastErr}
+}

@@ -3,140 +3,586 @@ package wire
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
+
+// Defaults for ClientConfig's zero values.
+const (
+	DefaultOpTimeout        = 30 * time.Second
+	DefaultMaxRetries       = 2
+	DefaultBackoffBase      = 5 * time.Millisecond
+	DefaultBackoffMax       = 500 * time.Millisecond
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = time.Second
+)
+
+// ErrConnectionBroken reports an operation attempted on a connection that
+// failed earlier and has no Redial configured to recover it.
+var ErrConnectionBroken = errors.New("wire: connection broken")
+
+// ErrNodeReleased reports a use of a RemoteNode after Release.
+var ErrNodeReleased = errors.New("wire: use of released node")
+
+// ErrClientClosed reports a use of a Client after Close.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// ServerError is an application-level failure reported by the mediator (bad
+// query, unknown view, handle limit, ...). The connection stays healthy;
+// server errors are never retried and never count against the breaker.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "wire: " + e.Msg }
+
+// TransportError wraps a connection-level failure (timeout, reset, EOF,
+// garbled framing). Transport errors are retried for idempotent operations,
+// trigger reconnection when Redial is set, and feed the circuit breaker.
+type TransportError struct{ Err error }
+
+func (e *TransportError) Error() string { return "wire: transport: " + e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the underlying failure was a deadline expiry.
+func (e *TransportError) Timeout() bool {
+	var ne net.Error
+	return errors.As(e.Err, &ne) && ne.Timeout()
+}
+
+// ClientConfig tunes the client's resilience behaviour. The zero value is
+// production-safe: 30 s per-op deadline, 2 retries with jittered
+// exponential backoff for idempotent ops, a breaker that opens after 5
+// consecutive transport failures and probes again after 1 s.
+type ClientConfig struct {
+	// OpTimeout bounds one wire round trip, enforced through the
+	// connection's SetDeadline when available (net.Conn, net.Pipe,
+	// faultnet.Conn). 0 means DefaultOpTimeout; negative disables.
+	OpTimeout time.Duration
+	// MaxRetries bounds automatic retries of idempotent ops (ping, label,
+	// value, nodeID, stats, close) after transport failures. 0 means
+	// DefaultMaxRetries; negative disables retries.
+	MaxRetries int
+	// BackoffBase/BackoffMax shape the jittered exponential backoff
+	// between retries: attempt k sleeps in [d/2, d) for
+	// d = min(BackoffMax, BackoffBase·2^(k-1)).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the jitter source (deterministic tests); 0 means 1.
+	Seed int64
+	// MaxFrame bounds one protocol frame in bytes; 0 means
+	// DefaultMaxFrame. Oversized frames yield *FrameTooLargeError without
+	// killing the session.
+	MaxFrame int
+	// Redial, when set, re-establishes the transport after a connection
+	// failure. Server-side handles die with the old session; the client
+	// transparently replays each RemoteNode's recorded navigation path to
+	// re-acquire them. Dial installs a TCP redialer automatically.
+	Redial func() (io.ReadWriteCloser, error)
+	// BreakerThreshold opens the per-endpoint circuit breaker after that
+	// many consecutive transport failures; while open, calls fail fast
+	// with *CircuitOpenError. 0 means DefaultBreakerThreshold; negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay; the half-open state
+	// admits a single ping probe. 0 means DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// Clock overrides the breaker's time source (tests). Nil means
+	// time.Now. Op deadlines always use the wall clock.
+	Clock func() time.Time
+}
+
+func (cfg *ClientConfig) normalize() {
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = DefaultOpTimeout
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+}
+
+func (cfg *ClientConfig) retries() int {
+	if cfg.MaxRetries < 0 {
+		return 0
+	}
+	return cfg.MaxRetries
+}
+
+// idempotentOps may be retried blindly: they read state that exists
+// independently of the request (no server-side handle allocation, no
+// payload beyond a scalar). See DESIGN.md's idempotency table.
+var idempotentOps = map[string]bool{
+	"ping": true, "label": true, "value": true, "nodeID": true,
+	"stats": true, "close": true,
+}
+
+// deadliner is the subset of net.Conn the client uses for op deadlines.
+type deadliner interface{ SetDeadline(time.Time) error }
 
 // Client is the thin client-side library: it speaks the wire protocol and
 // exposes remote virtual documents through RemoteNode, whose surface mirrors
 // the in-process QDOM API. A Client is safe for concurrent use; requests are
 // serialized over the single connection.
+//
+// Resilience (see ClientConfig): every op runs under a deadline; idempotent
+// ops retry with jittered exponential backoff; after a connection failure
+// the client redials (when configured) and replays each node's recorded
+// navigation path — the client-resident analogue of the paper's object
+// ids — to re-acquire server-side handles; a circuit breaker fails fast
+// while the endpoint is down and ping-probes it half-open.
 type Client struct {
-	mu   sync.Mutex
-	conn io.ReadWriteCloser
-	out  *bufio.Writer
-	in   *bufio.Scanner
-	next int64
+	cfg     ClientConfig
+	breaker *Breaker
+
+	rmu sync.Mutex // guards rng
+	rng *rand.Rand
+
+	mu     sync.Mutex // guards conn state
+	conn   io.ReadWriteCloser
+	out    *bufio.Writer
+	in     *bufio.Reader
+	next   int64
+	gen    int64 // connection generation; bumped on reconnect
+	broken bool
+	closed bool
+
+	redials int64 // diagnostics: successful reconnects
 }
 
-// Dial connects to a mediator server.
-func Dial(addr string) (*Client, error) {
+// Dial connects to a mediator server with default resilience settings and
+// automatic TCP redial.
+func Dial(addr string) (*Client, error) { return DialConfig(addr, ClientConfig{}) }
+
+// DialConfig connects with explicit resilience settings. If cfg.Redial is
+// nil a TCP redialer for addr is installed.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	if cfg.Redial == nil {
+		cfg.Redial = func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) }
+	}
+	return NewClientConfig(conn, cfg), nil
 }
 
-// NewClient wraps an established connection (tests use net.Pipe).
-func NewClient(conn io.ReadWriteCloser) *Client {
-	in := bufio.NewScanner(conn)
-	in.Buffer(make([]byte, 1<<20), 1<<20)
-	return &Client{conn: conn, out: bufio.NewWriter(conn), in: in}
+// NewClient wraps an established connection (tests use net.Pipe) with
+// default resilience settings and no redial.
+func NewClient(conn io.ReadWriteCloser) *Client { return NewClientConfig(conn, ClientConfig{}) }
+
+// NewClientConfig wraps an established connection with explicit settings.
+func NewClientConfig(conn io.ReadWriteCloser, cfg ClientConfig) *Client {
+	cfg.normalize()
+	return &Client{
+		cfg:     cfg,
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		conn:    conn,
+		out:     bufio.NewWriter(conn),
+		in:      bufio.NewReaderSize(conn, frameBufSize),
+	}
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) call(req Request) (Response, error) {
+// Close closes the connection; further ops fail with ErrClientClosed.
+func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
+	return c.conn.Close()
+}
+
+// BreakerSnapshot exposes the endpoint breaker's state (diagnostics,
+// catalog health).
+func (c *Client) BreakerSnapshot() BreakerSnapshot { return c.breaker.Snapshot() }
+
+// Redials reports how many times the client reconnected (diagnostics).
+func (c *Client) Redials() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.redials
+}
+
+// errStaleHandle: the connection turned over between handle resolution and
+// the round trip; the caller re-resolves and retries.
+var errStaleHandle = errors.New("stale handle after reconnect")
+
+// reconnectLocked re-establishes the transport (c.mu held). Old handles are
+// invalidated by bumping the generation; nodes replay their paths lazily.
+func (c *Client) reconnectLocked() error {
+	if c.cfg.Redial == nil {
+		return &TransportError{Err: ErrConnectionBroken}
+	}
+	conn, err := c.cfg.Redial()
+	if err != nil {
+		return &TransportError{Err: fmt.Errorf("redial: %w", err)}
+	}
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	c.conn = conn
+	c.out = bufio.NewWriter(conn)
+	c.in = bufio.NewReaderSize(conn, frameBufSize)
+	c.broken = false
+	c.gen++
+	c.redials++
+	return nil
+}
+
+// currentGen returns the live connection generation, reconnecting first if
+// the connection is marked broken.
+func (c *Client) currentGen() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClientClosed
+	}
+	if c.broken {
+		if err := c.reconnectLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return c.gen, nil
+}
+
+// roundTrip performs one locked request/response exchange. wantGen >= 0
+// asserts the request's handle belongs to the current connection
+// generation. Transport-level failures mark the connection broken (a late
+// response to a timed-out request must never be read as the answer to the
+// next one) and come back as *TransportError.
+func (c *Client) roundTrip(req Request, wantGen int64) (Response, int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Response{}, 0, ErrClientClosed
+	}
+	if c.broken {
+		if err := c.reconnectLocked(); err != nil {
+			return Response{}, 0, err
+		}
+	}
+	if wantGen >= 0 && c.gen != wantGen {
+		return Response{}, 0, &TransportError{Err: errStaleHandle}
+	}
 	c.next++
 	req.ID = c.next
 	payload, err := json.Marshal(&req)
 	if err != nil {
-		return Response{}, err
+		return Response{}, 0, err
+	}
+	if len(payload) > c.cfg.MaxFrame {
+		return Response{}, 0, &FrameTooLargeError{Limit: c.cfg.MaxFrame}
 	}
 	payload = append(payload, '\n')
+	if d, ok := c.conn.(deadliner); ok && c.cfg.OpTimeout > 0 {
+		_ = d.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
+		defer d.SetDeadline(time.Time{})
+	}
 	if _, err := c.out.Write(payload); err != nil {
-		return Response{}, err
+		c.broken = true
+		return Response{}, 0, &TransportError{Err: err}
 	}
 	if err := c.out.Flush(); err != nil {
-		return Response{}, err
+		c.broken = true
+		return Response{}, 0, &TransportError{Err: err}
 	}
-	if !c.in.Scan() {
-		if err := c.in.Err(); err != nil {
-			return Response{}, err
+	line, err := readFrame(c.in, c.cfg.MaxFrame)
+	if err != nil {
+		var tooBig *FrameTooLargeError
+		if errors.As(err, &tooBig) {
+			// readFrame resynchronized the stream; session stays usable.
+			return Response{}, 0, tooBig
 		}
-		return Response{}, io.ErrUnexpectedEOF
+		c.broken = true
+		return Response{}, 0, &TransportError{Err: err}
 	}
 	var resp Response
-	if err := json.Unmarshal(c.in.Bytes(), &resp); err != nil {
-		return Response{}, err
+	if err := json.Unmarshal(line, &resp); err != nil {
+		c.broken = true
+		return Response{}, 0, &TransportError{Err: fmt.Errorf("garbled response: %w", err)}
 	}
 	if resp.ID != req.ID {
-		return Response{}, fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+		c.broken = true
+		return Response{}, 0, &TransportError{Err: fmt.Errorf("response id %d for request %d", resp.ID, req.ID)}
 	}
 	if !resp.OK {
-		return Response{}, fmt.Errorf("wire: %s", resp.Error)
+		return Response{}, 0, &ServerError{Msg: resp.Error}
 	}
-	return resp, nil
+	return resp, c.gen, nil
+}
+
+func isTransient(err error) bool {
+	var te *TransportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// backoff sleeps before retry attempt k (1-based): jittered exponential.
+func (c *Client) backoff(attempt int) {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	c.rmu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.rmu.Unlock()
+	time.Sleep(jittered)
+}
+
+// attemptOnce resolves the node's handle (replaying its path if the
+// connection turned over) and performs one round trip.
+func (c *Client) attemptOnce(req Request, n *RemoteNode) (Response, int64, error) {
+	wantGen := int64(-1)
+	if n != nil {
+		n.mu.Lock()
+		err := c.ensureNodeLocked(n)
+		if err == nil {
+			req.Handle = n.handle
+			wantGen = n.gen
+		}
+		n.mu.Unlock()
+		if err != nil {
+			return Response{}, 0, err
+		}
+	}
+	return c.roundTrip(req, wantGen)
+}
+
+// probe runs the half-open breaker probe: a bare ping.
+func (c *Client) probe() error {
+	if _, _, err := c.attemptOnce(Request{Op: "ping"}, nil); err != nil {
+		c.breaker.Failure(err)
+		return fmt.Errorf("wire: half-open probe: %w", err)
+	}
+	c.breaker.Success()
+	return nil
+}
+
+// do is the op driver: breaker gate (with half-open ping probe), bounded
+// retry with backoff for idempotent ops, and a single reconnect-and-replay
+// recovery attempt for the remaining (read-only but handle-allocating) ops.
+func (c *Client) do(req Request, n *RemoteNode) (Response, int64, error) {
+	maxAttempts := 1
+	if idempotentOps[req.Op] {
+		maxAttempts += c.cfg.retries()
+	} else if c.cfg.Redial != nil {
+		maxAttempts++ // one recovery attempt after reconnect
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt)
+		}
+		probe, err := c.breaker.Allow()
+		if err != nil {
+			return Response{}, 0, err
+		}
+		if probe && req.Op != "ping" {
+			if err := c.probe(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, gen, err := c.attemptOnce(req, n)
+		if err == nil {
+			c.breaker.Success()
+			return resp, gen, nil
+		}
+		if !isTransient(err) {
+			// Application-level failure: endpoint alive, don't retry.
+			return Response{}, 0, err
+		}
+		c.breaker.Failure(err)
+		lastErr = err
+	}
+	return Response{}, 0, lastErr
 }
 
 // Ping round-trips a no-op.
 func (c *Client) Ping() error {
-	_, err := c.call(Request{Op: "ping"})
+	_, _, err := c.do(Request{Op: "ping"}, nil)
 	return err
 }
 
 // Open starts a session on a registered view and returns its root.
 func (c *Client) Open(view string) (*RemoteNode, error) {
-	resp, err := c.call(Request{Op: "open", View: view})
+	resp, gen, err := c.do(Request{Op: "open", View: view}, nil)
 	if err != nil {
 		return nil, err
 	}
-	return c.node(resp), nil
+	return c.node(resp, gen, nodePath{view: view}), nil
 }
 
 // Query runs a query and returns the result root.
 func (c *Client) Query(query string) (*RemoteNode, error) {
-	resp, err := c.call(Request{Op: "query", Query: query})
+	resp, gen, err := c.do(Request{Op: "query", Query: query}, nil)
 	if err != nil {
 		return nil, err
 	}
-	return c.node(resp), nil
+	return c.node(resp, gen, nodePath{query: query}), nil
 }
 
 // Stats reads the server-side transfer counters.
 func (c *Client) Stats() (tuplesShipped, queriesReceived int64, err error) {
-	resp, err := c.call(Request{Op: "stats"})
+	resp, _, err := c.do(Request{Op: "stats"}, nil)
 	if err != nil {
 		return 0, 0, err
 	}
 	return resp.TuplesShipped, resp.QueriesReceived, nil
 }
 
-func (c *Client) node(resp Response) *RemoteNode {
+func (c *Client) node(resp Response, gen int64, path nodePath) *RemoteNode {
 	if resp.Nil {
 		return nil
 	}
 	return &RemoteNode{
 		c:      c,
 		handle: resp.Handle,
+		gen:    gen,
 		label:  resp.Label,
 		nodeID: resp.NodeID,
 		leaf:   resp.IsLeaf,
 		value:  resp.Value,
+		path:   path,
 	}
+}
+
+// nodePath records how a node was reached, so its server-side handle can be
+// re-acquired after a reconnect: an origin (open view / query / queryFrom
+// of a parent node) plus the navigation steps taken from the origin root.
+type nodePath struct {
+	view   string      // origin: open, when non-empty
+	query  string      // origin: query (parent nil) or queryFrom (parent set)
+	parent *RemoteNode // origin: queryFrom source node
+	steps  []string    // down/right/up steps from the origin root
+}
+
+func (p nodePath) extend(step string) nodePath {
+	steps := make([]string, len(p.steps)+1)
+	copy(steps, p.steps)
+	steps[len(p.steps)] = step
+	return nodePath{view: p.view, query: p.query, parent: p.parent, steps: steps}
+}
+
+// ensureNodeLocked (n.mu held) makes n.handle valid on the current
+// connection, replaying the node's path after a reconnect.
+func (c *Client) ensureNodeLocked(n *RemoteNode) error {
+	if n.released {
+		return ErrNodeReleased
+	}
+	gen, err := c.currentGen()
+	if err != nil {
+		return err
+	}
+	if n.gen == gen {
+		return nil
+	}
+	return c.replayLocked(n, gen)
+}
+
+// replayLocked re-derives n's handle on connection generation gen: rerun
+// the origin, step the recorded path, release intermediate handles, and
+// verify the object id still matches (divergence means the source data
+// moved underneath us — surfaced, not papered over).
+func (c *Client) replayLocked(n *RemoteNode, gen int64) error {
+	var resp Response
+	var err error
+	switch {
+	case n.path.parent != nil:
+		p := n.path.parent
+		p.mu.Lock()
+		perr := c.ensureNodeLocked(p)
+		var ph int64
+		var pgen int64
+		if perr == nil {
+			ph, pgen = p.handle, p.gen
+		}
+		p.mu.Unlock()
+		if perr != nil {
+			return perr
+		}
+		resp, gen, err = c.roundTrip(Request{Op: "queryFrom", Handle: ph, Query: n.path.query}, pgen)
+	case n.path.view != "":
+		resp, gen, err = c.roundTrip(Request{Op: "open", View: n.path.view}, -1)
+	default:
+		resp, gen, err = c.roundTrip(Request{Op: "query", Query: n.path.query}, -1)
+	}
+	if err != nil {
+		return err
+	}
+	if resp.Nil {
+		return fmt.Errorf("wire: replay of node %s: origin is ⊥", n.nodeID)
+	}
+	handle := resp.Handle
+	for _, step := range n.path.steps {
+		next, g, serr := c.roundTrip(Request{Op: step, Handle: handle}, gen)
+		_, _, _ = c.roundTrip(Request{Op: "close", Handle: handle}, gen) // best effort
+		if serr != nil {
+			return serr
+		}
+		if next.Nil {
+			return fmt.Errorf("wire: replay of node %s: step %s reached ⊥", n.nodeID, step)
+		}
+		handle, gen, resp = next.Handle, g, next
+	}
+	if n.nodeID != "" && resp.NodeID != "" && resp.NodeID != n.nodeID {
+		return fmt.Errorf("wire: replay diverged: node %s is now %s", n.nodeID, resp.NodeID)
+	}
+	n.handle = handle
+	n.gen = gen
+	return nil
 }
 
 // RemoteNode is the client-resident stand-in for a node of a virtual
 // document at the mediator. Navigation methods evaluate one QDOM step
 // remotely; label, id and leaf-value are cached from the creating response
-// (the protocol piggybacks them, saving round trips).
+// (the protocol piggybacks them, saving round trips). Each node records the
+// navigation path that produced it, so a reconnected client can replay it
+// and re-acquire the server-side handle.
 type RemoteNode struct {
-	c      *Client
-	handle int64
+	c *Client
+
+	mu       sync.Mutex
+	handle   int64
+	gen      int64
+	released bool
+
 	label  string
 	nodeID string
 	leaf   bool
 	value  string
+	path   nodePath
 }
 
 // Handle exposes the protocol handle (diagnostics).
-func (n *RemoteNode) Handle() int64 { return n.handle }
+func (n *RemoteNode) Handle() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.handle
+}
 
 // Label returns the node's label (fl).
 func (n *RemoteNode) Label() string {
@@ -165,15 +611,44 @@ func (n *RemoteNode) Value() (string, bool) {
 	return n.value, true
 }
 
+// Release frees the node's server-side handle (the protocol's close op).
+// Sessions bound their handle tables, so long-lived clients must release
+// nodes they are done with; remoteCursor does this automatically. Safe on
+// nil and after connection loss (old handles die with the old session).
+func (n *RemoteNode) Release() error {
+	if n == nil {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.released {
+		return nil
+	}
+	n.released = true
+	h, gen := n.handle, n.gen
+	c := n.c
+	c.mu.Lock()
+	stale := c.closed || c.broken || c.gen != gen
+	c.mu.Unlock()
+	if stale {
+		return nil // the handle's session is already gone
+	}
+	_, _, err := c.roundTrip(Request{Op: "close", Handle: h}, gen)
+	if err != nil && isTransient(err) {
+		return nil
+	}
+	return err
+}
+
 func (n *RemoteNode) step(op string) (*RemoteNode, error) {
 	if n == nil {
 		return nil, fmt.Errorf("wire: navigation from ⊥")
 	}
-	resp, err := n.c.call(Request{Op: op, Handle: n.handle})
+	resp, gen, err := n.c.do(Request{Op: op}, n)
 	if err != nil {
 		return nil, err
 	}
-	return n.c.node(resp), nil
+	return n.c.node(resp, gen, n.path.extend(op)), nil
 }
 
 // Down evaluates d at the mediator.
@@ -191,11 +666,11 @@ func (n *RemoteNode) QueryFrom(query string) (*RemoteNode, error) {
 	if n == nil {
 		return nil, fmt.Errorf("wire: query from ⊥")
 	}
-	resp, err := n.c.call(Request{Op: "queryFrom", Handle: n.handle, Query: query})
+	resp, gen, err := n.c.do(Request{Op: "queryFrom", Query: query}, n)
 	if err != nil {
 		return nil, err
 	}
-	return n.c.node(resp), nil
+	return n.c.node(resp, gen, nodePath{parent: n, query: query}), nil
 }
 
 // Materialize fetches the subtree below the node as XML.
@@ -203,7 +678,7 @@ func (n *RemoteNode) Materialize() (string, error) {
 	if n == nil {
 		return "", fmt.Errorf("wire: materialize of ⊥")
 	}
-	resp, err := n.c.call(Request{Op: "materialize", Handle: n.handle})
+	resp, _, err := n.c.do(Request{Op: "materialize"}, n)
 	if err != nil {
 		return "", err
 	}

@@ -9,13 +9,22 @@
 // Laziness crosses the wire: a navigation command evaluates exactly one
 // QDOM step at the mediator, so remote clients get the same demand-driven
 // source access as local ones.
+//
+// The protocol assumes nothing about the network: frames are length-bounded
+// (FrameTooLargeError), every client op runs under a deadline, idempotent
+// ops retry with backoff, a lost connection is redialed and node handles
+// are re-acquired by replaying recorded navigation paths, and a circuit
+// breaker fails fast while an endpoint is down (see ClientConfig and
+// DESIGN.md's Resilience section). Handles are explicitly released with the
+// close op so sessions stay bounded.
 package wire
 
 // Request is one client command.
 type Request struct {
 	ID int64 `json:"id"`
 	// Op is the command: open, query, queryFrom, down, right, up, label,
-	// value, nodeID, materialize, stats, ping.
+	// value, nodeID, materialize, stats, ping, close. close releases the
+	// node handle it names and is idempotent.
 	Op string `json:"op"`
 	// View names the view for open.
 	View string `json:"view,omitempty"`

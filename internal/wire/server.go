@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -12,16 +13,55 @@ import (
 	"mix/internal/xmlio"
 )
 
+// DefaultMaxHandles bounds one session's handle table. Handles are
+// explicitly released by the close op (RemoteNode.Release, cursor Close);
+// the bound turns a leaking client into a clear error instead of unbounded
+// server memory.
+const DefaultMaxHandles = 1 << 16
+
 // Server hosts a mediator for remote QDOM clients.
 type Server struct {
 	med *mix.Mediator
+
+	// MaxFrame bounds one request frame in bytes; 0 means DefaultMaxFrame.
+	// An oversized request gets an error response and the session
+	// continues.
+	MaxFrame int
+	// MaxHandles bounds one session's handle table; 0 means
+	// DefaultMaxHandles. Allocation past the bound fails with an error
+	// telling the client to release handles.
+	MaxHandles int
+	// ErrorLog, when set, receives per-connection failures (malformed
+	// framing, I/O errors) that Serve would otherwise swallow.
+	ErrorLog func(error)
 }
 
 // NewServer wraps a mediator.
 func NewServer(med *mix.Mediator) *Server { return &Server{med: med} }
 
+func (s *Server) maxFrame() int {
+	if s.MaxFrame > 0 {
+		return s.MaxFrame
+	}
+	return DefaultMaxFrame
+}
+
+func (s *Server) maxHandles() int {
+	if s.MaxHandles > 0 {
+		return s.MaxHandles
+	}
+	return DefaultMaxHandles
+}
+
+func (s *Server) logErr(err error) {
+	if s.ErrorLog != nil && err != nil {
+		s.ErrorLog(err)
+	}
+}
+
 // Serve accepts connections until the listener closes. Each connection gets
-// its own session (handle table); sessions are independent.
+// its own session (handle table); sessions are independent. Per-connection
+// failures are reported through ErrorLog.
 func (s *Server) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -30,21 +70,43 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		go func() {
 			defer conn.Close()
-			_ = s.ServeConn(conn)
+			if err := s.ServeConn(conn); err != nil {
+				s.logErr(fmt.Errorf("wire: conn %v: %w", conn.RemoteAddr(), err))
+			}
 		}()
 	}
 }
 
 // ServeConn runs one session over an arbitrary byte stream (tests use
-// net.Pipe). It returns when the peer closes or sends malformed framing.
+// net.Pipe). It returns nil when the peer closes cleanly and the terminal
+// error otherwise. Oversized request frames are answered with an error
+// response and the session continues.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
-	sess := &session{med: s.med, nodes: map[int64]*mix.Node{}}
-	in := bufio.NewScanner(conn)
-	in.Buffer(make([]byte, 1<<20), 1<<20)
+	sess := &session{med: s.med, nodes: map[int64]*mix.Node{}, maxHandles: s.maxHandles()}
+	in := bufio.NewReaderSize(conn, frameBufSize)
 	out := bufio.NewWriter(conn)
 	enc := json.NewEncoder(out)
-	for in.Scan() {
-		line := in.Bytes()
+	reply := func(resp Response) error {
+		if err := enc.Encode(&resp); err != nil {
+			return err
+		}
+		return out.Flush()
+	}
+	for {
+		line, err := readFrame(in, s.maxFrame())
+		if err != nil {
+			var tooBig *FrameTooLargeError
+			if errors.As(err, &tooBig) {
+				if rerr := reply(Response{OK: false, Error: tooBig.Error()}); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -55,35 +117,36 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 		} else {
 			resp = sess.handle(req)
 		}
-		if err := enc.Encode(&resp); err != nil {
-			return err
-		}
-		if err := out.Flush(); err != nil {
+		if err := reply(resp); err != nil {
 			return err
 		}
 	}
-	return in.Err()
 }
 
 // session is one connection's state: the handle table associating client
 // handles with mediator-side nodes (the thin-client contract of Section 2).
+// The table is bounded; clients release handles with the close op.
 type session struct {
-	med *mix.Mediator
+	med        *mix.Mediator
+	maxHandles int
 
 	mu     sync.Mutex
 	nodes  map[int64]*mix.Node
 	nextID int64
 }
 
-func (s *session) put(n *mix.Node) (int64, bool) {
+func (s *session) put(n *mix.Node) (int64, bool, error) {
 	if n == nil {
-		return 0, false
+		return 0, false, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(s.nodes) >= s.maxHandles {
+		return 0, false, fmt.Errorf("session handle limit %d reached: release handles (close op / RemoteNode.Release / cursor Close)", s.maxHandles)
+	}
 	s.nextID++
 	s.nodes[s.nextID] = n
-	return s.nextID, true
+	return s.nextID, true, nil
 }
 
 func (s *session) get(h int64) (*mix.Node, error) {
@@ -96,13 +159,29 @@ func (s *session) get(h int64) (*mix.Node, error) {
 	return n, nil
 }
 
+func (s *session) release(h int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.nodes, h)
+}
+
+// handleCount reports the live handle count (diagnostics/tests).
+func (s *session) handleCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.nodes)
+}
+
 func (s *session) handle(req Request) Response {
 	resp := Response{ID: req.ID, OK: true}
 	fail := func(err error) Response {
 		return Response{ID: req.ID, OK: false, Error: err.Error()}
 	}
 	nodeResp := func(n *mix.Node) Response {
-		h, ok := s.put(n)
+		h, ok, err := s.put(n)
+		if err != nil {
+			return fail(err)
+		}
 		if !ok {
 			resp.Nil = true
 			return resp
@@ -189,6 +268,11 @@ func (s *session) handle(req Request) Response {
 			return fail(err)
 		}
 		resp.XML = xmlio.SerializeIndent(n.Materialize())
+		return resp
+	case "close":
+		// Idempotent: releasing an unknown or already-released handle is a
+		// no-op, so retries and post-reconnect releases are always safe.
+		s.release(req.Handle)
 		return resp
 	case "stats":
 		st := s.med.Stats()

@@ -18,6 +18,14 @@ import (
 // As with the in-process variant, laziness is preserved across top-level
 // children (one remote child is fetched per pull); within one child the
 // subtree is materialized on first visit.
+//
+// Failure policy: any failure to reach the lower mediator (transport
+// error, circuit open, server rejection) surfaces from the cursor as a
+// typed *source.SourceUnavailableError, which the engine either propagates
+// (fail-fast, the default) or converts into an annotated partial result
+// under the opt-in policy (mix.Config.PartialResults). The doc also
+// implements source.HealthReporter, exposing the client's circuit-breaker
+// state through Catalog.Health.
 type RemoteDoc struct {
 	id   string
 	root *RemoteNode
@@ -32,16 +40,36 @@ func NewRemoteDoc(id string, root *RemoteNode) *RemoteDoc {
 // RootID implements source.Doc.
 func (d *RemoteDoc) RootID() string { return d.id }
 
+// Health implements source.HealthReporter: the endpoint's breaker state.
+func (d *RemoteDoc) Health() source.Health {
+	if d.root == nil {
+		return source.Health{State: "closed"}
+	}
+	snap := d.root.c.BreakerSnapshot()
+	h := source.Health{
+		State:               snap.State.String(),
+		ConsecutiveFailures: snap.ConsecutiveFailures,
+	}
+	if snap.LastErr != nil {
+		h.LastError = snap.LastErr.Error()
+	}
+	return h
+}
+
 // Open implements source.Doc: a cursor over the remote root's children.
 func (d *RemoteDoc) Open() (source.ElemCursor, error) {
 	first, err := d.root.Down()
 	if err != nil {
-		return nil, fmt.Errorf("wire: opening remote doc %s: %w", d.id, err)
+		return nil, &source.SourceUnavailableError{
+			Source: d.id,
+			Err:    fmt.Errorf("opening remote doc: %w", err),
+		}
 	}
-	return &remoteCursor{next: first}, nil
+	return &remoteCursor{src: d.id, next: first}, nil
 }
 
 type remoteCursor struct {
+	src  string
 	next *RemoteNode
 }
 
@@ -52,7 +80,7 @@ func (c *remoteCursor) Next() (*xtree.Node, bool, error) {
 	cur := c.next
 	xml, err := cur.Materialize()
 	if err != nil {
-		return nil, false, err
+		return nil, false, c.unavailable(err)
 	}
 	// The XML serialization drops interior object ids; re-id the subtree
 	// deterministically under the remote root id so node identity (skolem
@@ -67,9 +95,22 @@ func (c *remoteCursor) Next() (*xtree.Node, bool, error) {
 	n.ID = xtree.ID(cur.ID())
 	c.next, err = cur.Right()
 	if err != nil {
-		return nil, false, err
+		return nil, false, c.unavailable(err)
 	}
+	// The consumed child's handle is no longer needed; release it so the
+	// server session's handle table stays bounded during long scans.
+	_ = cur.Release()
 	return n, true, nil
 }
 
-func (c *remoteCursor) Close() {}
+func (c *remoteCursor) unavailable(err error) error {
+	return &source.SourceUnavailableError{Source: c.src, Err: err}
+}
+
+// Close releases the cursor's outstanding server-side handle.
+func (c *remoteCursor) Close() {
+	if c.next != nil {
+		_ = c.next.Release()
+		c.next = nil
+	}
+}

@@ -48,6 +48,13 @@ type Config struct {
 	DisablePushdown bool
 	// RewriteOptions tunes individual rule groups when rewriting is on.
 	RewriteOptions rewrite.Options
+	// PartialResults opts into degraded answers when a source becomes
+	// unavailable mid-scan (a remote mediator dies, its circuit breaker
+	// opens): instead of failing the query, the scan ends early and the
+	// result carries a SourceUnavailable annotation element per lost
+	// source. Off by default — the paper assumes reliable sources, and
+	// fail-fast is the faithful behaviour.
+	PartialResults bool
 }
 
 // Mediator integrates sources, maintains views, and serves QDOM documents.
@@ -197,7 +204,7 @@ func (m *Mediator) optimize(plan xmas.Op) (composePlan, execPlan xmas.Op, err er
 // run compiles and starts a plan, wrapping the virtual result as a QDOM
 // document whose origin supports further in-place queries.
 func (m *Mediator) run(composePlan, execPlan xmas.Op, tags map[xmas.Var]string) (*qdom.Document, error) {
-	prog, err := engine.Compile(execPlan, m.cat)
+	prog, err := engine.CompileWith(execPlan, m.cat, m.engineOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +318,7 @@ func (m *Mediator) QueryWithMetrics(query string) (*qdom.Document, *engine.Metri
 	if err != nil {
 		return nil, nil, err
 	}
-	prog, err := engine.Compile(execPlan, m.cat)
+	prog, err := engine.CompileWith(execPlan, m.cat, m.engineOpts())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -449,6 +456,14 @@ func (m *Mediator) Open(viewName string) (*qdom.Document, error) {
 	}
 	return m.run(v.ComposePlan, v.ExecPlan, v.Tags)
 }
+
+func (m *Mediator) engineOpts() engine.Options {
+	return engine.Options{PartialResults: m.cfg.PartialResults}
+}
+
+// Health reports per-source availability (circuit-breaker state of remote
+// mediator sources); see source.Catalog.Health.
+func (m *Mediator) Health() map[string]source.Health { return m.cat.Health() }
 
 func (m *Mediator) freshID(prefix string) string {
 	return fmt.Sprintf("%s%d", prefix, m.nextID.Add(1))

@@ -4,9 +4,9 @@
 //
 //	mixserve -addr :7713 -n 1000
 //
-// Clients connect with the internal/wire client library; cmd/mixnav-style
-// navigation then evaluates one QDOM step per round trip, keeping source
-// access demand-driven across the network.
+// Clients connect with the internal/wire client library; navigation
+// evaluates QDOM steps remotely, with sibling scans batched adaptively
+// (children/scan ops, capped by -max-batch) while staying demand-driven.
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:7713", "listen address")
 		n          = flag.Int("n", 1000, "generated customers")
 		maxHandles = flag.Int("max-handles", wire.DefaultMaxHandles, "per-session node handle limit")
+		maxBatch   = flag.Int("max-batch", wire.DefaultMaxBatch, "per-response frame cap for batched children/scan ops")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 	fmt.Printf("mixserve: CustRec view over %d customers on %s\n", *n, l.Addr())
 	srv := wire.NewServer(med)
 	srv.MaxHandles = *maxHandles
+	srv.MaxBatch = *maxBatch
 	srv.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "mixserve:", err) }
 	fail(srv.Serve(l))
 }

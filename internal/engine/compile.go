@@ -157,7 +157,7 @@ func compileMkSrc(o *xmas.MkSrc, cat *source.Catalog) (compiledOp, error) {
 				return Tuple{}, false, nil
 			}
 			if cur == nil {
-				c, err := doc.Open()
+				c, err := openCursor(ctx, doc)
 				if err != nil {
 					if ctx.noteUnavailable(err) {
 						done = true
@@ -189,6 +189,17 @@ func compileMkSrc(o *xmas.MkSrc, cat *source.Catalog) (compiledOp, error) {
 			return NewTuple(schema, []Value{NodeVal{E: e}}), true, nil
 		})
 	}, nil
+}
+
+// openCursor opens a source cursor, routing through source.BatchOpener when
+// the execution options request batched delivery and the source supports it
+// (remote mediators). Sources without batch support, or runs with default
+// options, take the plain Open path.
+func openCursor(ctx *Ctx, doc source.Doc) (source.ElemCursor, error) {
+	if bo, ok := doc.(source.BatchOpener); ok && (ctx.opts.BatchSize != 0 || ctx.opts.Prefetch) {
+		return bo.OpenBatch(ctx.opts.BatchSize, ctx.opts.Prefetch)
+	}
+	return doc.Open()
 }
 
 func compileNestedSrc(o *xmas.NestedSrc) (compiledOp, error) {
@@ -425,18 +436,6 @@ func compileJoin(o *xmas.Join, cat *source.Catalog) (compiledOp, error) {
 			var matchIdx int
 			var lt Tuple
 			return cursorFunc(func() (Tuple, bool, error) {
-				if table == nil {
-					rows, err := drain(right(ctx))
-					if err != nil {
-						return Tuple{}, false, err
-					}
-					table = map[string][]Tuple{}
-					for _, rt := range rows {
-						if a, ok := cmpKeyOf(rt.MustGet(rv)); ok {
-							table[normKey(a)] = append(table[normKey(a)], rt)
-						}
-					}
-				}
 				for {
 					if matchIdx < len(matches) {
 						rt := matches[matchIdx]
@@ -450,6 +449,21 @@ func compileJoin(o *xmas.Join, cat *source.Catalog) (compiledOp, error) {
 					lt = t
 					matches = nil
 					matchIdx = 0
+					// Build the hash table only once a probe tuple exists: an
+					// empty or failed left input must not pay the full
+					// right-source scan.
+					if table == nil {
+						rows, err := drain(right(ctx))
+						if err != nil {
+							return Tuple{}, false, err
+						}
+						table = map[string][]Tuple{}
+						for _, rt := range rows {
+							if a, ok := cmpKeyOf(rt.MustGet(rv)); ok {
+								table[normKey(a)] = append(table[normKey(a)], rt)
+							}
+						}
+					}
 					if a, ok := cmpKeyOf(t.MustGet(lv)); ok {
 						matches = table[normKey(a)]
 					}
@@ -466,14 +480,6 @@ func compileJoin(o *xmas.Join, cat *source.Catalog) (compiledOp, error) {
 		ri := 0
 		haveLeft := false
 		return cursorFunc(func() (Tuple, bool, error) {
-			if !loaded {
-				rows, err := drain(right(ctx))
-				if err != nil {
-					return Tuple{}, false, err
-				}
-				rrows = rows
-				loaded = true
-			}
 			for {
 				if !haveLeft {
 					t, ok, err := linput.Next()
@@ -483,6 +489,16 @@ func compileJoin(o *xmas.Join, cat *source.Catalog) (compiledOp, error) {
 					lt = t
 					ri = 0
 					haveLeft = true
+				}
+				// Same laziness as the hash path: materialize the right side
+				// only once a left tuple exists.
+				if !loaded {
+					rows, err := drain(right(ctx))
+					if err != nil {
+						return Tuple{}, false, err
+					}
+					rrows = rows
+					loaded = true
 				}
 				for ri < len(rrows) {
 					rt := rrows[ri]

@@ -18,6 +18,14 @@ type Options struct {
 	// SourceUnavailable annotation element per failed source, and
 	// Result.Err stays nil. Other errors always propagate.
 	PartialResults bool
+	// BatchSize asks batch-capable sources (source.BatchOpener — remote
+	// mediators) to deliver top-level children in batches of up to this
+	// size. 0 defers to each source's own default; 1 or negative forces one
+	// round trip per child.
+	BatchSize int
+	// Prefetch asks batch-capable sources to keep one batch in flight ahead
+	// of the engine's consumption.
+	Prefetch bool
 }
 
 // Program is a compiled XMAS plan, ready to run. Compilation resolves

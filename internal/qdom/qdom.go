@@ -98,6 +98,31 @@ func (n *Node) Right() *Node {
 	return &Node{doc: n.doc, e: e, parent: n.parent, idx: n.idx + 1}
 }
 
+// ChildStream returns a demand-driven iterator over the node's children
+// beginning at index start: each call forces production of exactly one more
+// child and returns it, or nil once the children are exhausted. The wire
+// server's batched children op uses it to cut a batch without forcing past
+// the frames it ships.
+func (n *Node) ChildStream(start int) func() *Node {
+	if n == nil {
+		return func() *Node { return nil }
+	}
+	kids := n.e.Kids()
+	i := start
+	return func() *Node {
+		if kids == nil {
+			return nil
+		}
+		e, ok := kids.Get(i)
+		if !ok {
+			return nil
+		}
+		child := &Node{doc: n.doc, e: e, parent: n, idx: i}
+		i++
+		return child
+	}
+}
+
 // Child returns the i-th child, forcing production up to it.
 func (n *Node) Child(i int) *Node {
 	if n == nil {

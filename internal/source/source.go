@@ -69,6 +69,15 @@ type Doc interface {
 	Open() (ElemCursor, error)
 }
 
+// BatchOpener is implemented by source documents that can deliver top-level
+// children in batches (wire.RemoteDoc): batchSize caps one batch (0 means
+// the source's own default; 1 or negative disables batching), and prefetch
+// keeps one batch in flight ahead of consumption. The engine prefers it
+// over Open when the execution options ask for batching.
+type BatchOpener interface {
+	OpenBatch(batchSize int, prefetch bool) (ElemCursor, error)
+}
+
 // RelBinding records that a document id is a wrapper view of a relation.
 type RelBinding struct {
 	Server   string

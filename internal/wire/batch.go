@@ -1,0 +1,167 @@
+package wire
+
+import "sync"
+
+// batchWindow is one parent's adaptive read-ahead cursor over its children:
+// the client-side half of the batched children op. The window fetches
+// batches on demand — the first batch carries one frame, so first-answer
+// latency is the same as a single step, and each subsequent batch doubles
+// toward the cap while the consumer keeps scanning. With prefetch on, the
+// next batch is requested in the background once the unread tail drops
+// below half the next batch size (double-buffering), hiding the round trip
+// behind consumption.
+//
+// Concurrency: the window has its own lock, below RemoteNode.mu and
+// Client.mu in the order — get never holds w.mu across a round trip (the
+// fetch runs on a goroutine and re-acquires w.mu only after do returns).
+// Resilience is inherited from Client.do: a mid-batch connection drop
+// surfaces as a typed error from get, and the next get retries, replaying
+// the parent's path if the connection turned over.
+type batchWindow struct {
+	c      *Client
+	parent *RemoteNode
+	cap    int
+	pre    bool
+	deep   bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	nodes     []*RemoteNode // fetched children, index = child index
+	complete  bool          // no children exist past nodes
+	fetching  bool          // a fetch is in flight
+	err       error         // pending fetch failure; delivered once, then retried
+	nextSize  int           // next batch's Max (geometric growth)
+	delivered int           // highest index handed to the consumer
+	abandoned bool
+}
+
+func newBatchWindow(c *Client, parent *RemoteNode, cap int, pre, deep bool) *batchWindow {
+	w := &batchWindow{
+		c:         c,
+		parent:    parent,
+		cap:       cap,
+		pre:       pre,
+		deep:      deep,
+		nextSize:  1,
+		delivered: -1,
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// get returns child i, or (nil, nil) for ⊥ past the last child. It blocks
+// while a fetch that may produce child i is in flight; a fetch failure is
+// returned once and the next get retries.
+func (w *batchWindow) get(i int) (*RemoteNode, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if i > w.delivered {
+		w.delivered = i
+	}
+	for {
+		if i < len(w.nodes) {
+			n := w.nodes[i]
+			w.maybePrefetchLocked()
+			return n, nil
+		}
+		if w.err != nil {
+			err := w.err
+			w.err = nil
+			return nil, err
+		}
+		if w.complete {
+			return nil, nil
+		}
+		if !w.fetching {
+			w.startFetchLocked()
+		}
+		w.cond.Wait()
+	}
+}
+
+// maybePrefetchLocked starts a background fetch when prefetch is on and the
+// unread tail has shrunk below half the next batch.
+func (w *batchWindow) maybePrefetchLocked() {
+	if !w.pre || w.fetching || w.complete || w.err != nil {
+		return
+	}
+	if len(w.nodes)-1-w.delivered <= w.nextSize/2 {
+		w.startFetchLocked()
+	}
+}
+
+func (w *batchWindow) startFetchLocked() {
+	w.fetching = true
+	go w.fetch(len(w.nodes), w.nextSize)
+}
+
+func (w *batchWindow) fetch(skip, size int) {
+	resp, gen, err := w.c.do(Request{Op: "children", Skip: skip, Max: size, Deep: w.deep}, w.parent)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	defer w.cond.Broadcast()
+	w.fetching = false
+	if err != nil {
+		w.err = err
+		return
+	}
+	w.c.noteBatch(len(resp.Frames))
+	if w.abandoned {
+		// The consumer closed mid-flight; nobody will release these seats.
+		for _, f := range resp.Frames {
+			w.c.deferRelease(f.Handle, gen)
+		}
+		return
+	}
+	for _, f := range resp.Frames {
+		n := &RemoteNode{
+			c:      w.c,
+			handle: f.Handle,
+			gen:    gen,
+			label:  f.Label,
+			nodeID: f.NodeID,
+			leaf:   f.IsLeaf,
+			value:  f.Value,
+			path:   nodePath{parent: w.parent, child: true, childIdx: len(w.nodes)},
+			win:    w,
+			winIdx: len(w.nodes),
+		}
+		if w.deep {
+			n.xml, n.hasXML = f.XML, true
+		}
+		w.nodes = append(w.nodes, n)
+	}
+	// An empty batch that promises more would spin the window; treat it as
+	// exhaustion (defensive — the server never sends it).
+	if !resp.More || len(resp.Frames) == 0 {
+		w.complete = true
+	}
+	w.nextSize = size * 2
+	if w.nextSize > w.cap {
+		w.nextSize = w.cap
+	}
+}
+
+// abandon releases the window's undelivered read-ahead (cursor Close):
+// seats past the last delivered index are queued for piggybacked release,
+// and a fetch landing afterwards releases its frames the same way.
+// Delivered nodes are untouched — their owners release them.
+func (w *batchWindow) abandon() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.abandoned {
+		return
+	}
+	w.abandoned = true
+	w.complete = true
+	for i := w.delivered + 1; i < len(w.nodes); i++ {
+		n := w.nodes[i]
+		n.mu.Lock()
+		if !n.released {
+			n.released = true
+			w.c.deferRelease(n.handle, n.gen)
+		}
+		n.mu.Unlock()
+	}
+	w.cond.Broadcast()
+}

@@ -1,0 +1,256 @@
+package wire_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"mix"
+	"mix/internal/wire"
+)
+
+// flatXML builds a document with n flat <item> children.
+func flatXML(n int) string {
+	var sb strings.Builder
+	sb.WriteString("<doc>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "<item>v%d</item>", i)
+	}
+	sb.WriteString("</doc>")
+	return sb.String()
+}
+
+// flatMediator serves a view with n remote children — the walk workload the
+// batched navigation ops exist for.
+func flatMediator(tb testing.TB, n int) *mix.Mediator {
+	tb.Helper()
+	med := mix.New()
+	if err := med.AddXMLSource("&flat", flatXML(n)); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := med.DefineView("flatv", `
+FOR $I IN document(&flat)/item
+RETURN <It> $I </It>`); err != nil {
+		tb.Fatal(err)
+	}
+	return med
+}
+
+// dialFlat connects a configured client to a fresh flat-view server.
+func dialFlat(tb testing.TB, med *mix.Mediator, srvTweak func(*wire.Server), cfg wire.ClientConfig) *wire.Client {
+	tb.Helper()
+	server, client := net.Pipe()
+	srv := wire.NewServer(med)
+	if srvTweak != nil {
+		srvTweak(srv)
+	}
+	go func() {
+		defer server.Close()
+		_ = srv.ServeConn(server)
+	}()
+	c := wire.NewClientConfig(client, cfg)
+	tb.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// walkChildren walks every child of the view root with Down/Right,
+// releasing consumed nodes, and returns the visited (label, id) sequence.
+func walkChildren(tb testing.TB, c *wire.Client, view string) []string {
+	tb.Helper()
+	root, err := c.Open(view)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var seq []string
+	n, err := root.Down()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for n != nil {
+		seq = append(seq, n.Label()+"|"+n.ID())
+		next, err := n.Right()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		_ = n.Release()
+		n = next
+	}
+	_ = root.Release()
+	return seq
+}
+
+// TestBatchedNavParity: a batched walk visits exactly the node sequence a
+// single-step walk visits — batching changes delivery, never semantics.
+func TestBatchedNavParity(t *testing.T) {
+	med := flatMediator(t, 37)
+	single := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: -1})
+	batched := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: 8})
+	prefetched := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: 8, Prefetch: true})
+
+	want := walkChildren(t, single, "flatv")
+	if len(want) != 37 {
+		t.Fatalf("single-step walk saw %d children, want 37", len(want))
+	}
+	for name, c := range map[string]*wire.Client{"batched": batched, "prefetched": prefetched} {
+		got := walkChildren(t, c, "flatv")
+		if len(got) != len(want) {
+			t.Fatalf("%s walk saw %d children, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s walk diverged at %d: %q vs %q", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchSizeOneExact: with batching disabled the client never issues a
+// children/scan op — today's one-round-trip-per-step behaviour, exactly.
+func TestBatchSizeOneExact(t *testing.T) {
+	med := flatMediator(t, 5)
+	c := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: -1})
+	seq := walkChildren(t, c, "flatv")
+	if len(seq) != 5 {
+		t.Fatalf("walk saw %d children, want 5", len(seq))
+	}
+	st := c.WireStats()
+	if st.BatchesFetched != 0 || st.FramesBatched != 0 {
+		t.Fatalf("batch-disabled client fetched batches: %+v", st)
+	}
+	// open + down + 5·right (last hits ⊥) + 6·close = 13 round trips.
+	if st.RequestsSent != 13 {
+		t.Fatalf("single-step walk of 5 children took %d round trips, want 13", st.RequestsSent)
+	}
+}
+
+// TestWalkRoundTripReduction is the tentpole's acceptance gate: a
+// 1000-child walk at batch ≥16 takes at least 5× fewer round trips than at
+// batch 1, asserted through the client's own counters.
+func TestWalkRoundTripReduction(t *testing.T) {
+	med := flatMediator(t, 1000)
+
+	single := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: -1})
+	if n := len(walkChildren(t, single, "flatv")); n != 1000 {
+		t.Fatalf("single walk saw %d children", n)
+	}
+	rtSingle := single.WireStats().RequestsSent
+
+	batched := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: 16})
+	if n := len(walkChildren(t, batched, "flatv")); n != 1000 {
+		t.Fatalf("batched walk saw %d children", n)
+	}
+	stB := batched.WireStats()
+
+	if stB.RequestsSent*5 > rtSingle {
+		t.Fatalf("round trips: batch16 %d vs single %d — reduction < 5×", stB.RequestsSent, rtSingle)
+	}
+	if stB.BatchesFetched == 0 || stB.FramesBatched < 1000 {
+		t.Fatalf("batch counters inconsistent: %+v", stB)
+	}
+	// Adaptive growth: 1000 frames at sizes 1,2,4,8,16,16,... is ~66
+	// batches; far fewer than one per child, comfortably more than
+	// 1000/16.
+	if stB.BatchesFetched > 80 {
+		t.Fatalf("adaptive window did not grow: %d batches for 1000 frames", stB.BatchesFetched)
+	}
+	t.Logf("round trips for 1000-child walk: single=%d batch16=%d (%.1f×), batches=%d",
+		rtSingle, stB.RequestsSent, float64(rtSingle)/float64(stB.RequestsSent), stB.BatchesFetched)
+}
+
+// TestBatchReleasePiggyback: consumed frames ride out on later requests'
+// Release field, so a walk under a tiny server handle table succeeds —
+// partial batches (More=true) plus piggybacked releases keep the table
+// bounded without dedicated close round trips.
+func TestBatchReleasePiggyback(t *testing.T) {
+	med := flatMediator(t, 30)
+	c := dialFlat(t, med,
+		func(s *wire.Server) { s.MaxHandles = 4 },
+		wire.ClientConfig{BatchSize: 16})
+	seq := walkChildren(t, c, "flatv")
+	if len(seq) != 30 {
+		t.Fatalf("walk under MaxHandles=4 saw %d children, want 30", len(seq))
+	}
+	st := c.WireStats()
+	if st.BatchesFetched == 0 {
+		t.Fatal("walk never used batches")
+	}
+	// The walk must still beat single-step round trips (open + 30 steps +
+	// 30 closes) even with the table capping every batch.
+	if st.RequestsSent >= 61 {
+		t.Fatalf("batched walk under handle pressure took %d round trips", st.RequestsSent)
+	}
+}
+
+// TestDeepBatchMaterialize: frames of a Deep scan carry their subtree, so
+// Materialize on them costs zero additional round trips.
+func TestDeepBatchMaterialize(t *testing.T) {
+	med := flatMediator(t, 10)
+	c := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: 8})
+	root, err := c.Open("flatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := root.DownScan(wire.ScanConfig{BatchSize: 8, Deep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for n != nil {
+		before := c.WireStats().RequestsSent
+		xml, err := n.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.WireStats().RequestsSent != before {
+			t.Fatal("deep-batch materialize paid a round trip")
+		}
+		if !strings.Contains(xml, "<item>") {
+			t.Fatalf("deep frame XML:\n%s", xml)
+		}
+		count++
+		if n, err = n.Right(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != 10 {
+		t.Fatalf("deep scan saw %d children, want 10", count)
+	}
+}
+
+// TestEngineBatchKnobs: mix.Config.BatchSize/Prefetch reach a federated
+// source — the engine asks the remote doc for batched delivery and the walk
+// still produces the right answer.
+func TestEngineBatchKnobs(t *testing.T) {
+	lower := flatMediator(t, 40)
+	c := dialFlat(t, lower, nil, wire.ClientConfig{BatchSize: -1}) // client default off…
+	remoteRoot, err := c.Open("flatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper := mix.NewWith(mix.Config{BatchSize: 8, Prefetch: true}) // …engine knob on
+	upper.Catalog().AddDoc("&remote", wire.NewRemoteDoc("&remote", remoteRoot))
+	doc, err := upper.Query(`
+FOR $R IN document(&remote)/It
+RETURN $R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.Materialize()
+	if err := doc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Children) != 40 {
+		t.Fatalf("federated scan saw %d children, want 40", len(m.Children))
+	}
+	st := c.WireStats()
+	if st.BatchesFetched == 0 {
+		t.Fatal("engine batch knob never reached the wire client")
+	}
+	// 40 deep frames in adaptive batches: far fewer round trips than the
+	// 121 (open + down + 40·(materialize+right+close)) the single-step
+	// cursor pays.
+	if st.RequestsSent >= 40 {
+		t.Fatalf("federated batched scan took %d round trips", st.RequestsSent)
+	}
+}

@@ -1,0 +1,78 @@
+package wire_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"mix/internal/faultnet"
+	"mix/internal/wire"
+)
+
+// The BenchmarkWireNav* family measures the tentpole win: round trips and
+// wall clock for a 1000-child remote walk, with a realistic per-I/O latency
+// injected through faultnet so a round trip actually costs something (over
+// bare net.Pipe the protocol overhead would drown the effect being
+// measured). The roundtrips/walk metric comes from the client's own
+// counters; BENCH_wire.json records the committed baseline.
+
+const benchChildren = 1000
+
+const benchLatency = 50 * time.Microsecond
+
+func benchWireNav(b *testing.B, cfg wire.ClientConfig) {
+	med := flatMediator(b, benchChildren)
+	srv := wire.NewServer(med)
+	var rts, walked int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		server, client := net.Pipe()
+		go func() {
+			defer server.Close()
+			_ = srv.ServeConn(server)
+		}()
+		conn := faultnet.Wrap(client, faultnet.Config{LatencyProb: 1, Latency: benchLatency})
+		c := wire.NewClientConfig(conn, cfg)
+		root, err := c.Open("flatv")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := root.Down()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for n != nil {
+			next, err := n.Right()
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = n.Release()
+			walked++
+			n = next
+		}
+		rts += c.WireStats().RequestsSent
+		_ = c.Close()
+	}
+	b.StopTimer()
+	if walked != int64(b.N)*benchChildren {
+		b.Fatalf("walk visited %d nodes, want %d", walked, int64(b.N)*benchChildren)
+	}
+	b.ReportMetric(float64(rts)/float64(b.N), "roundtrips/walk")
+}
+
+func BenchmarkWireNavBatch1(b *testing.B) {
+	benchWireNav(b, wire.ClientConfig{BatchSize: -1})
+}
+
+func BenchmarkWireNavBatch16(b *testing.B) {
+	benchWireNav(b, wire.ClientConfig{BatchSize: 16})
+}
+
+func BenchmarkWireNavBatch64(b *testing.B) {
+	benchWireNav(b, wire.ClientConfig{BatchSize: 64})
+}
+
+func BenchmarkWireNavBatch64Prefetch(b *testing.B) {
+	benchWireNav(b, wire.ClientConfig{BatchSize: 64, Prefetch: true})
+}

@@ -20,6 +20,10 @@ const (
 	DefaultBackoffMax       = 500 * time.Millisecond
 	DefaultBreakerThreshold = 5
 	DefaultBreakerCooldown  = time.Second
+	// DefaultBatchSize caps one children/scan batch. The adaptive window
+	// starts at one frame and doubles toward this cap as the client keeps
+	// scanning, so the cap is only reached on long walks.
+	DefaultBatchSize = 64
 )
 
 // ErrConnectionBroken reports an operation attempted on a connection that
@@ -93,6 +97,16 @@ type ClientConfig struct {
 	// Clock overrides the breaker's time source (tests). Nil means
 	// time.Now. Op deadlines always use the wall clock.
 	Clock func() time.Time
+	// BatchSize caps one batched-navigation window (the children/scan ops):
+	// Down starts an adaptive read-ahead cursor whose batches grow
+	// geometrically from 1 toward this cap while Right keeps consuming.
+	// 0 means DefaultBatchSize; 1 or negative disables batching entirely,
+	// preserving the one-round-trip-per-step behaviour exactly.
+	BatchSize int
+	// Prefetch keeps one batch in flight ahead of consumption
+	// (double-buffering): when the unread tail of a window drops below half
+	// the next batch size, the next batch is fetched in the background.
+	Prefetch bool
 }
 
 func (cfg *ClientConfig) normalize() {
@@ -119,6 +133,12 @@ func (cfg *ClientConfig) normalize() {
 	}
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1 // negative: batching disabled
 	}
 }
 
@@ -167,7 +187,57 @@ type Client struct {
 	broken bool
 	closed bool
 
-	redials int64 // diagnostics: successful reconnects
+	// pendingRelease holds handles of consumed batch frames awaiting
+	// piggybacked release on the next request (Request.Release) — releasing
+	// one frame per round trip would hand back the round trips batching
+	// saved. Cleared on reconnect (handles die with the session).
+	pendingRelease []int64
+
+	redials        int64 // diagnostics: successful reconnects
+	reqsSent       int64 // round trips issued (counted after a successful flush)
+	batchesFetched int64 // children/scan batches received
+	framesBatched  int64 // frames across those batches
+}
+
+// WireStats are the client's round-trip counters. Benchmarks and tests
+// assert the batching win directly from these instead of inferring it from
+// wall clock.
+type WireStats struct {
+	RequestsSent   int64
+	BatchesFetched int64
+	FramesBatched  int64
+	Redials        int64
+}
+
+// WireStats snapshots the round-trip counters.
+func (c *Client) WireStats() WireStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return WireStats{
+		RequestsSent:   c.reqsSent,
+		BatchesFetched: c.batchesFetched,
+		FramesBatched:  c.framesBatched,
+		Redials:        c.redials,
+	}
+}
+
+func (c *Client) noteBatch(frames int) {
+	c.mu.Lock()
+	c.batchesFetched++
+	c.framesBatched += int64(frames)
+	c.mu.Unlock()
+}
+
+// deferRelease queues a handle for piggybacked release on the next request.
+// Stale handles (connection turned over) are dropped: they died with their
+// session.
+func (c *Client) deferRelease(h, gen int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.broken || c.gen != gen {
+		return
+	}
+	c.pendingRelease = append(c.pendingRelease, h)
 }
 
 // Dial connects to a mediator server with default resilience settings and
@@ -246,6 +316,7 @@ func (c *Client) reconnectLocked() error {
 	c.broken = false
 	c.gen++
 	c.redials++
+	c.pendingRelease = nil // old handles died with the old session
 	return nil
 }
 
@@ -286,9 +357,29 @@ func (c *Client) roundTrip(req Request, wantGen int64) (Response, int64, error) 
 	}
 	c.next++
 	req.ID = c.next
+	// Piggyback pending frame releases. On a request-side failure (marshal,
+	// oversized frame) the connection stays healthy and the handles go back
+	// in the queue; transport failures below break the connection, which
+	// invalidates the handles anyway.
+	piggyback := c.pendingRelease
+	if piggyback != nil {
+		c.pendingRelease = nil
+		req.Release = piggyback
+	}
 	payload, err := json.Marshal(&req)
 	if err != nil {
+		c.pendingRelease = piggyback
 		return Response{}, 0, err
+	}
+	if len(payload) > c.cfg.MaxFrame && piggyback != nil {
+		// The piggyback itself may have pushed the frame over the limit;
+		// requeue it and send the op bare.
+		c.pendingRelease = piggyback
+		req.Release = nil
+		payload, err = json.Marshal(&req)
+		if err != nil {
+			return Response{}, 0, err
+		}
 	}
 	if len(payload) > c.cfg.MaxFrame {
 		return Response{}, 0, &FrameTooLargeError{Limit: c.cfg.MaxFrame}
@@ -306,6 +397,7 @@ func (c *Client) roundTrip(req Request, wantGen int64) (Response, int64, error) 
 		c.broken = true
 		return Response{}, 0, &TransportError{Err: err}
 	}
+	c.reqsSent++
 	line, err := readFrame(c.in, c.cfg.MaxFrame)
 	if err != nil {
 		var tooBig *FrameTooLargeError
@@ -471,20 +563,26 @@ func (c *Client) node(resp Response, gen int64, path nodePath) *RemoteNode {
 }
 
 // nodePath records how a node was reached, so its server-side handle can be
-// re-acquired after a reconnect: an origin (open view / query / queryFrom
-// of a parent node) plus the navigation steps taken from the origin root.
+// re-acquired after a reconnect: an origin (open view / query / queryFrom of
+// a parent node / the i-th child of a batch parent) plus the navigation
+// steps taken from the origin. The child origin keeps batched nodes' paths
+// flat: replay is one children(skip=i, max=1) round trip from the parent,
+// not i single steps.
 type nodePath struct {
-	view   string      // origin: open, when non-empty
-	query  string      // origin: query (parent nil) or queryFrom (parent set)
-	parent *RemoteNode // origin: queryFrom source node
-	steps  []string    // down/right/up steps from the origin root
+	view     string      // origin: open, when non-empty
+	query    string      // origin: query (parent nil) or queryFrom (parent set)
+	parent   *RemoteNode // origin: queryFrom source node, or batch parent
+	child    bool        // origin: childIdx-th child of parent (batch frame)
+	childIdx int
+	steps    []string // down/right/up steps from the origin
 }
 
 func (p nodePath) extend(step string) nodePath {
 	steps := make([]string, len(p.steps)+1)
 	copy(steps, p.steps)
 	steps[len(p.steps)] = step
-	return nodePath{view: p.view, query: p.query, parent: p.parent, steps: steps}
+	p.steps = steps
+	return p
 }
 
 // ensureNodeLocked (n.mu held) makes n.handle valid on the current
@@ -523,6 +621,21 @@ func (c *Client) replayLocked(n *RemoteNode, gen int64) error {
 		p.mu.Unlock()
 		if perr != nil {
 			return perr
+		}
+		if n.path.child {
+			// Batch-frame origin: re-acquire the childIdx-th child in one
+			// skip round trip.
+			var br Response
+			br, gen, err = c.roundTrip(Request{Op: "children", Handle: ph, Skip: n.path.childIdx, Max: 1}, pgen)
+			if err != nil {
+				return err
+			}
+			if len(br.Frames) == 0 {
+				return fmt.Errorf("wire: replay of node %s: child %d is gone", n.nodeID, n.path.childIdx)
+			}
+			f := br.Frames[0]
+			resp = Response{Handle: f.Handle, Label: f.Label, NodeID: f.NodeID, IsLeaf: f.IsLeaf, Value: f.Value}
+			break
 		}
 		resp, gen, err = c.roundTrip(Request{Op: "queryFrom", Handle: ph, Query: n.path.query}, pgen)
 	case n.path.view != "":
@@ -575,6 +688,16 @@ type RemoteNode struct {
 	leaf   bool
 	value  string
 	path   nodePath
+
+	// win/winIdx seat the node in the batch window that produced it: Right
+	// consumes the next seat (usually already fetched) instead of paying a
+	// round trip.
+	win    *batchWindow
+	winIdx int
+	// xml caches the subtree shipped by a Deep batch; Materialize is then
+	// free.
+	xml    string
+	hasXML bool
 }
 
 // Handle exposes the protocol handle (diagnostics).
@@ -629,6 +752,14 @@ func (n *RemoteNode) Release() error {
 	c := n.c
 	c.mu.Lock()
 	stale := c.closed || c.broken || c.gen != gen
+	if !stale && (n.win != nil || c.cfg.BatchSize > 1) {
+		// Batching on (for the client, or for the scan that produced this
+		// node): queue the handle for piggybacked release on the next
+		// request instead of paying a close round trip now.
+		c.pendingRelease = append(c.pendingRelease, h)
+		c.mu.Unlock()
+		return nil
+	}
 	c.mu.Unlock()
 	if stale {
 		return nil // the handle's session is already gone
@@ -651,11 +782,59 @@ func (n *RemoteNode) step(op string) (*RemoteNode, error) {
 	return n.c.node(resp, gen, n.path.extend(op)), nil
 }
 
-// Down evaluates d at the mediator.
-func (n *RemoteNode) Down() (*RemoteNode, error) { return n.step("down") }
+// ScanConfig tunes one batched child scan (DownScan). The zero value takes
+// the client's defaults.
+type ScanConfig struct {
+	// BatchSize caps this scan's batch window; 0 takes
+	// ClientConfig.BatchSize; 1 or negative disables batching for this scan.
+	BatchSize int
+	// Prefetch keeps one batch in flight ahead of consumption for this scan
+	// even when ClientConfig.Prefetch is off.
+	Prefetch bool
+	// Deep ships each frame's materialized subtree XML with the batch,
+	// pre-populating Materialize (federated source scans consume children
+	// whole, so the subtree round trip would otherwise dominate).
+	Deep bool
+}
 
-// Right evaluates r at the mediator.
-func (n *RemoteNode) Right() (*RemoteNode, error) { return n.step("right") }
+// Down evaluates d at the mediator. With batching enabled (the default) the
+// first child arrives as a one-frame children batch that opens an adaptive
+// read-ahead window over its siblings; with BatchSize 1 it is the classic
+// single-step round trip.
+func (n *RemoteNode) Down() (*RemoteNode, error) { return n.DownScan(ScanConfig{}) }
+
+// DownScan evaluates d and opens a batched scan over the node's children:
+// subsequent Right calls on the returned node (and its siblings) consume
+// frames from an adaptive window that starts at one frame and doubles
+// toward the batch-size cap while consumption continues — the paper's
+// navigation-driven demand is the prefetch signal, so first-answer latency
+// stays lazy and long scans amortize round trips.
+func (n *RemoteNode) DownScan(sc ScanConfig) (*RemoteNode, error) {
+	if n == nil {
+		return nil, fmt.Errorf("wire: navigation from ⊥")
+	}
+	size := sc.BatchSize
+	if size == 0 {
+		size = n.c.cfg.BatchSize
+	}
+	if size <= 1 {
+		return n.step("down")
+	}
+	return newBatchWindow(n.c, n, size, sc.Prefetch || n.c.cfg.Prefetch, sc.Deep).get(0)
+}
+
+// Right evaluates r at the mediator. A node produced by a batched scan takes
+// its next sibling from the window (usually already fetched); otherwise it
+// is a single-step round trip.
+func (n *RemoteNode) Right() (*RemoteNode, error) {
+	if n == nil {
+		return nil, fmt.Errorf("wire: navigation from ⊥")
+	}
+	if n.win != nil {
+		return n.win.get(n.winIdx + 1)
+	}
+	return n.step("right")
+}
 
 // Up returns the parent.
 func (n *RemoteNode) Up() (*RemoteNode, error) { return n.step("up") }
@@ -673,10 +852,15 @@ func (n *RemoteNode) QueryFrom(query string) (*RemoteNode, error) {
 	return n.c.node(resp, gen, nodePath{parent: n, query: query}), nil
 }
 
-// Materialize fetches the subtree below the node as XML.
+// Materialize fetches the subtree below the node as XML. Nodes shipped by a
+// Deep batch carry their subtree already; those return it without a round
+// trip.
 func (n *RemoteNode) Materialize() (string, error) {
 	if n == nil {
 		return "", fmt.Errorf("wire: materialize of ⊥")
+	}
+	if n.hasXML {
+		return n.xml, nil
 	}
 	resp, _, err := n.c.do(Request{Op: "materialize"}, n)
 	if err != nil {

@@ -543,6 +543,120 @@ RETURN $O`)
 	}
 }
 
+// TestFaultMidBatchDropNoRedial: a connection drop in the middle of a
+// batched walk surfaces as a typed transport error from the navigation
+// call — no silent truncation, no hang.
+func TestFaultMidBatchDropNoRedial(t *testing.T) {
+	e := newEndpoint(flatMediator(t, 50))
+	conn, err := e.dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg()
+	cfg.BatchSize = 8
+	cfg.BreakerThreshold = -1
+	// No Redial: the drop must surface, not recover.
+	c := wire.NewClientConfig(conn, cfg)
+	defer c.Close()
+
+	root, err := c.Open("flatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := root.Down()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.killConn() // sever mid-walk; read-ahead past the first batch is gone
+	var walkErr error
+	for n != nil && walkErr == nil {
+		n, walkErr = n.Right()
+	}
+	if walkErr == nil {
+		t.Fatal("mid-batch connection drop never surfaced")
+	}
+	var te *wire.TransportError
+	if !errors.As(walkErr, &te) {
+		t.Fatalf("mid-batch drop must be a typed TransportError, got %v", walkErr)
+	}
+}
+
+// TestFaultMidBatchDropRecovers: with redial configured, a mid-batch drop
+// is absorbed — the batch fetch reconnects, replays the parent's path, and
+// the walk completes with every child exactly once.
+func TestFaultMidBatchDropRecovers(t *testing.T) {
+	e := newEndpoint(flatMediator(t, 50))
+	cfg := fastCfg()
+	cfg.BatchSize = 8
+	c := dialEndpoint(t, e, cfg)
+
+	root, err := c.Open("flatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := root.Down()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for n != nil {
+		count++
+		if count == 5 {
+			e.killConn() // drop while batches remain to be fetched
+		}
+		if n, err = n.Right(); err != nil {
+			t.Fatalf("walk after mid-batch drop: %v", err)
+		}
+	}
+	if count != 50 {
+		t.Fatalf("recovered walk saw %d children, want 50", count)
+	}
+	if c.Redials() == 0 {
+		t.Fatal("recovery did not redial")
+	}
+}
+
+// TestFaultPartialBatchNoHandleLeak: repeated partially-consumed batched
+// scans under a tiny server handle table — consumed frames are released by
+// piggyback, abandoned read-ahead by cursor Close; if either leaked, the
+// table (8 slots) would exhaust within a few of the 20 iterations.
+func TestFaultPartialBatchNoHandleLeak(t *testing.T) {
+	med := flatMediator(t, 30)
+	srv := wire.NewServer(med)
+	srv.MaxHandles = 8
+	server, client := net.Pipe()
+	go func() {
+		defer server.Close()
+		_ = srv.ServeConn(server)
+	}()
+	cfg := fastCfg()
+	cfg.BatchSize = 8
+	c := wire.NewClientConfig(client, cfg)
+	defer c.Close()
+
+	root, err := c.Open("flatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := wire.NewRemoteDoc("&remote", root)
+	for i := 0; i < 20; i++ {
+		cur, err := doc.OpenBatch(8, false)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		for j := 0; j < 3; j++ { // consume a partial prefix, then abandon
+			if _, ok, err := cur.Next(); err != nil || !ok {
+				t.Fatalf("iteration %d next %d: %v %v", i, j, ok, err)
+			}
+		}
+		cur.Close()
+	}
+	// The session must still have room for normal navigation.
+	if _, err := root.Down(); err != nil {
+		t.Fatalf("handle table exhausted after partial scans: %v", err)
+	}
+}
+
 // TestServerErrorLog: Serve surfaces per-connection failures through the
 // ErrorLog hook instead of swallowing them.
 func TestServerErrorLog(t *testing.T) {

@@ -8,7 +8,12 @@
 //
 // Laziness crosses the wire: a navigation command evaluates exactly one
 // QDOM step at the mediator, so remote clients get the same demand-driven
-// source access as local ones.
+// source access as local ones. The batched children/scan ops amortize the
+// per-step round trip without giving up that demand-driven shape: a batch
+// carries up to Max sibling frames, the client's adaptive read-ahead starts
+// at one frame (first-answer latency stays lazy) and grows geometrically
+// only while the client keeps scanning — navigation demand itself is the
+// prefetch signal.
 //
 // The protocol assumes nothing about the network: frames are length-bounded
 // (FrameTooLargeError), every client op runs under a deadline, idempotent
@@ -23,8 +28,11 @@ package wire
 type Request struct {
 	ID int64 `json:"id"`
 	// Op is the command: open, query, queryFrom, down, right, up, label,
-	// value, nodeID, materialize, stats, ping, close. close releases the
-	// node handle it names and is idempotent.
+	// value, nodeID, materialize, children, scan, stats, ping, close. close
+	// releases the node handle it names and is idempotent. children and
+	// scan are the batched navigation ops: children returns up to Max
+	// sibling frames starting at the Skip-th child of Handle; scan returns
+	// up to Max right-siblings of Handle itself.
 	Op string `json:"op"`
 	// View names the view for open.
 	View string `json:"view,omitempty"`
@@ -32,6 +40,31 @@ type Request struct {
 	Query string `json:"query,omitempty"`
 	// Handle identifies the node for navigation and queryFrom.
 	Handle int64 `json:"handle,omitempty"`
+	// Skip is the child index a children batch starts at.
+	Skip int `json:"skip,omitempty"`
+	// Max caps the number of frames a children/scan batch may carry. The
+	// server caps it further by its own batch, handle-table and frame
+	// budgets; 0 means 1.
+	Max int `json:"max,omitempty"`
+	// Deep asks children/scan to ship each frame's materialized subtree
+	// XML alongside the navigation fields (federated source scans).
+	Deep bool `json:"deep,omitempty"`
+	// Release piggybacks node handles to free before the op runs: consumed
+	// batch frames ride along on the next request instead of costing one
+	// close round trip each. Releasing an unknown handle is a no-op.
+	Release []int64 `json:"release,omitempty"`
+}
+
+// NodeFrame is one node of a batched children/scan response: the same
+// piggybacked navigation fields a single-step response carries, plus the
+// subtree XML under Deep.
+type NodeFrame struct {
+	Handle int64  `json:"handle"`
+	Label  string `json:"label,omitempty"`
+	NodeID string `json:"nodeId,omitempty"`
+	IsLeaf bool   `json:"isLeaf,omitempty"`
+	Value  string `json:"value,omitempty"`
+	XML    string `json:"xml,omitempty"`
 }
 
 // Response answers one request.
@@ -50,6 +83,12 @@ type Response struct {
 	IsLeaf bool   `json:"isLeaf,omitempty"`
 	NodeID string `json:"nodeId,omitempty"`
 	XML    string `json:"xml,omitempty"`
+
+	// Frames carries a children/scan batch in sibling order.
+	Frames []NodeFrame `json:"frames,omitempty"`
+	// More reports that siblings remain past the last frame (the batch was
+	// cut by Max or by a server budget, not by exhaustion).
+	More bool `json:"more,omitempty"`
 
 	TuplesShipped   int64 `json:"tuplesShipped,omitempty"`
 	QueriesReceived int64 `json:"queriesReceived,omitempty"`

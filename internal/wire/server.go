@@ -19,6 +19,14 @@ import (
 // server memory.
 const DefaultMaxHandles = 1 << 16
 
+// DefaultMaxBatch caps the frames one children/scan response may carry,
+// whatever the client asks for.
+const DefaultMaxBatch = 256
+
+// frameOverhead is the per-frame JSON envelope estimate used when cutting a
+// batch to the session's frame budget.
+const frameOverhead = 96
+
 // Server hosts a mediator for remote QDOM clients.
 type Server struct {
 	med *mix.Mediator
@@ -31,6 +39,9 @@ type Server struct {
 	// DefaultMaxHandles. Allocation past the bound fails with an error
 	// telling the client to release handles.
 	MaxHandles int
+	// MaxBatch caps the frames one children/scan response carries, whatever
+	// the client's Max asks for; 0 means DefaultMaxBatch.
+	MaxBatch int
 	// ErrorLog, when set, receives per-connection failures (malformed
 	// framing, I/O errors) that Serve would otherwise swallow.
 	ErrorLog func(error)
@@ -51,6 +62,13 @@ func (s *Server) maxHandles() int {
 		return s.MaxHandles
 	}
 	return DefaultMaxHandles
+}
+
+func (s *Server) maxBatch() int {
+	if s.MaxBatch > 0 {
+		return s.MaxBatch
+	}
+	return DefaultMaxBatch
 }
 
 func (s *Server) logErr(err error) {
@@ -82,7 +100,13 @@ func (s *Server) Serve(l net.Listener) error {
 // error otherwise. Oversized request frames are answered with an error
 // response and the session continues.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
-	sess := &session{med: s.med, nodes: map[int64]*mix.Node{}, maxHandles: s.maxHandles()}
+	sess := &session{
+		med:        s.med,
+		nodes:      map[int64]*mix.Node{},
+		maxHandles: s.maxHandles(),
+		maxBatch:   s.maxBatch(),
+		maxFrame:   s.maxFrame(),
+	}
 	in := bufio.NewReaderSize(conn, frameBufSize)
 	out := bufio.NewWriter(conn)
 	enc := json.NewEncoder(out)
@@ -129,6 +153,8 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 type session struct {
 	med        *mix.Mediator
 	maxHandles int
+	maxBatch   int
+	maxFrame   int
 
 	mu     sync.Mutex
 	nodes  map[int64]*mix.Node
@@ -173,6 +199,13 @@ func (s *session) handleCount() int {
 }
 
 func (s *session) handle(req Request) Response {
+	// Piggybacked releases run before the op: a batch consumer frees the
+	// frames it is done with on its next request instead of paying one close
+	// round trip per frame, and the freed slots are available to the op
+	// below (matters under a tight MaxHandles).
+	for _, h := range req.Release {
+		s.release(h)
+	}
 	resp := Response{ID: req.ID, OK: true}
 	fail := func(err error) Response {
 		return Response{ID: req.ID, OK: false, Error: err.Error()}
@@ -236,6 +269,27 @@ func (s *session) handle(req Request) Response {
 			next = n.Up()
 		}
 		return nodeResp(next)
+	case "children":
+		// Batched d+r*: up to Max sibling frames starting at the Skip-th
+		// child of Handle. Production is demand-driven — ChildStream forces
+		// exactly the children the batch ships (plus a one-node peek to set
+		// More), so a client that stops scanning never forces the rest.
+		n, err := s.get(req.Handle)
+		if err != nil {
+			return fail(err)
+		}
+		return s.batchResp(req, n.ChildStream(req.Skip))
+	case "scan":
+		// Batched r*: up to Max right-siblings of Handle itself.
+		n, err := s.get(req.Handle)
+		if err != nil {
+			return fail(err)
+		}
+		cur := n
+		return s.batchResp(req, func() *mix.Node {
+			cur = cur.Right()
+			return cur
+		})
 	case "label":
 		n, err := s.get(req.Handle)
 		if err != nil {
@@ -281,4 +335,60 @@ func (s *session) handle(req Request) Response {
 		return resp
 	}
 	return fail(fmt.Errorf("unknown op %q", req.Op))
+}
+
+func frameSize(f NodeFrame) int {
+	return frameOverhead + len(f.Label) + len(f.NodeID) + len(f.Value) + len(f.XML)
+}
+
+// batchResp cuts one children/scan batch from next. Frames accumulate until
+// the client's Max, the server's MaxBatch, the frame-size budget, or the
+// handle table ends the batch. A budget or handle-table cut ships a partial
+// batch with More=true — the unshipped node holds no handle and the client
+// re-derives it in the next batch — and only a batch that cannot fit a
+// single frame fails. A batch ended by Max peeks one node ahead so More is
+// definitive and the client never pays an empty confirming round trip; the
+// peeked node's production is cached, so re-deriving it later is free.
+func (s *session) batchResp(req Request, next func() *mix.Node) Response {
+	resp := Response{ID: req.ID, OK: true}
+	max := req.Max
+	if max < 1 {
+		max = 1
+	}
+	if max > s.maxBatch {
+		max = s.maxBatch
+	}
+	budget := s.maxFrame - s.maxFrame/8 // headroom for the response envelope
+	used := 0
+	for len(resp.Frames) < max {
+		n := next()
+		if n == nil {
+			return resp // exhausted: More stays false
+		}
+		f := NodeFrame{Label: n.Label(), NodeID: n.ID(), IsLeaf: n.IsLeaf()}
+		if v, isLeaf := n.Value(); isLeaf {
+			f.Value = v
+		}
+		if req.Deep {
+			f.XML = xmlio.SerializeIndent(n.Materialize())
+		}
+		sz := frameSize(f)
+		if len(resp.Frames) > 0 && used+sz > budget {
+			resp.More = true
+			return resp
+		}
+		used += sz
+		h, _, err := s.put(n)
+		if err != nil {
+			if len(resp.Frames) > 0 {
+				resp.More = true
+				return resp
+			}
+			return Response{ID: req.ID, OK: false, Error: err.Error()}
+		}
+		f.Handle = h
+		resp.Frames = append(resp.Frames, f)
+	}
+	resp.More = next() != nil
+	return resp
 }

@@ -56,9 +56,19 @@ func (d *RemoteDoc) Health() source.Health {
 	return h
 }
 
-// Open implements source.Doc: a cursor over the remote root's children.
-func (d *RemoteDoc) Open() (source.ElemCursor, error) {
-	first, err := d.root.Down()
+// Open implements source.Doc: a cursor over the remote root's children,
+// batched at the client's defaults.
+func (d *RemoteDoc) Open() (source.ElemCursor, error) { return d.OpenBatch(0, false) }
+
+// OpenBatch implements source.BatchOpener: a cursor whose children arrive
+// in adaptive deep batches (each frame ships its subtree XML, so the
+// per-child materialize round trip disappears too). batchSize 0 takes the
+// client's configured batch size; 1 or negative falls back to one round
+// trip per step+materialize, today's exact behaviour. prefetch keeps one
+// batch in flight ahead of the engine's consumption.
+func (d *RemoteDoc) OpenBatch(batchSize int, prefetch bool) (source.ElemCursor, error) {
+	deep := batchSize == 0 && d.root.c.cfg.BatchSize > 1 || batchSize > 1
+	first, err := d.root.DownScan(ScanConfig{BatchSize: batchSize, Prefetch: prefetch, Deep: deep})
 	if err != nil {
 		return nil, &source.SourceUnavailableError{
 			Source: d.id,
@@ -107,9 +117,14 @@ func (c *remoteCursor) unavailable(err error) error {
 	return &source.SourceUnavailableError{Source: c.src, Err: err}
 }
 
-// Close releases the cursor's outstanding server-side handle.
+// Close releases the cursor's outstanding server-side handle and abandons
+// any read-ahead its batch window holds (undelivered frames are queued for
+// piggybacked release, so partial scans leak no handles).
 func (c *remoteCursor) Close() {
 	if c.next != nil {
+		if c.next.win != nil {
+			c.next.win.abandon()
+		}
 		_ = c.next.Release()
 		c.next = nil
 	}

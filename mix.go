@@ -55,6 +55,15 @@ type Config struct {
 	// source. Off by default — the paper assumes reliable sources, and
 	// fail-fast is the faithful behaviour.
 	PartialResults bool
+	// BatchSize asks batch-capable sources (remote mediators reached over
+	// the wire protocol) to deliver top-level children in adaptive batches
+	// capped at this size. 0 defers to each source's own default (the wire
+	// client's configured batch size); 1 or negative forces one round trip
+	// per child — the pure single-step model.
+	BatchSize int
+	// Prefetch asks batch-capable sources to keep one batch in flight ahead
+	// of the engine's consumption.
+	Prefetch bool
 }
 
 // Mediator integrates sources, maintains views, and serves QDOM documents.
@@ -458,7 +467,11 @@ func (m *Mediator) Open(viewName string) (*qdom.Document, error) {
 }
 
 func (m *Mediator) engineOpts() engine.Options {
-	return engine.Options{PartialResults: m.cfg.PartialResults}
+	return engine.Options{
+		PartialResults: m.cfg.PartialResults,
+		BatchSize:      m.cfg.BatchSize,
+		Prefetch:       m.cfg.Prefetch,
+	}
 }
 
 // Health reports per-source availability (circuit-breaker state of remote

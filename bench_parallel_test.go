@@ -1,0 +1,120 @@
+package mix_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mix"
+	"mix/internal/faultnet"
+	"mix/internal/wire"
+)
+
+// The BenchmarkParallelFedJoin* family measures intra-query parallelism: an
+// upper mediator joining two remote (wire) sources, each reached over
+// net.Pipe with a 2ms per-I/O latency injected via faultnet. Sequential
+// evaluation pays the two scans back-to-back; Parallelism > 1 overlaps them
+// (async source open + exchange operators) and compounds with batched
+// prefetch, so wall clock approaches the slower single scan instead of the
+// sum. BENCH_engine.json records the committed baseline.
+
+const (
+	parBenchItems   = 96
+	parBenchFields  = 8
+	parBenchLatency = 2 * time.Millisecond
+)
+
+// parBenchXML builds an element-dense document: each item carries a join key
+// and parBenchFields payload fields, so frames are large and mediator-side
+// parse work is non-trivial (the part parallelism can hide behind I/O).
+func parBenchXML(n int) string {
+	var sb strings.Builder
+	sb.WriteString("<doc>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "<item><k>k%d</k>", i)
+		for f := 0; f < parBenchFields; f++ {
+			fmt.Fprintf(&sb, "<f%d>payload-%d-%d</f%d>", f, i, f, f)
+		}
+		sb.WriteString("</item>")
+	}
+	sb.WriteString("</doc>")
+	return sb.String()
+}
+
+func parBenchLower(b *testing.B) *mix.Mediator {
+	b.Helper()
+	med := mix.New()
+	if err := med.AddXMLSource("&flat", parBenchXML(parBenchItems)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := med.DefineView("flatv", `
+FOR $I IN document(&flat)/item
+RETURN <It> $I </It>`); err != nil {
+		b.Fatal(err)
+	}
+	return med
+}
+
+const parBenchQuery = `
+FOR $A IN document(&ra)/It, $B IN document(&rb)/It
+WHERE $A/item/k = $B/item/k
+RETURN <P> $A $B </P>`
+
+func benchParallelFedJoin(b *testing.B, parallelism int) {
+	lowerA, lowerB := parBenchLower(b), parBenchLower(b)
+	dial := func(med *mix.Mediator) (*wire.Client, func()) {
+		server, client := net.Pipe()
+		srv := wire.NewServer(med)
+		go func() {
+			defer server.Close()
+			_ = srv.ServeConn(server)
+		}()
+		conn := faultnet.Wrap(client, faultnet.Config{LatencyProb: 1, Latency: parBenchLatency})
+		c := wire.NewClientConfig(conn, wire.ClientConfig{})
+		return c, func() { _ = c.Close() }
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Connection setup (dial + remote open) is identical across
+		// parallelism levels and excluded: the measured quantity is query
+		// evaluation — scans, join, materialization.
+		b.StopTimer()
+		ca, closeA := dial(lowerA)
+		cb, closeB := dial(lowerB)
+		rootA, err := ca.Open("flatv")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rootB, err := cb.Open("flatv")
+		if err != nil {
+			b.Fatal(err)
+		}
+		upper := mix.NewWith(mix.Config{Parallelism: parallelism})
+		upper.Catalog().AddDoc("&ra", wire.NewRemoteDoc("&ra", rootA))
+		upper.Catalog().AddDoc("&rb", wire.NewRemoteDoc("&rb", rootB))
+		b.StartTimer()
+		doc, err := upper.Query(parBenchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := doc.Materialize()
+		if err := doc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if len(m.Children) != parBenchItems {
+			b.Fatalf("join produced %d matches, want %d", len(m.Children), parBenchItems)
+		}
+		doc.Close()
+		closeA()
+		closeB()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkParallelFedJoinSeq(b *testing.B)  { benchParallelFedJoin(b, 1) }
+func BenchmarkParallelFedJoinPar2(b *testing.B) { benchParallelFedJoin(b, 2) }
+func BenchmarkParallelFedJoinPar4(b *testing.B) { benchParallelFedJoin(b, 4) }

@@ -22,14 +22,16 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7713", "listen address")
-		n          = flag.Int("n", 1000, "generated customers")
-		maxHandles = flag.Int("max-handles", wire.DefaultMaxHandles, "per-session node handle limit")
-		maxBatch   = flag.Int("max-batch", wire.DefaultMaxBatch, "per-response frame cap for batched children/scan ops")
+		addr        = flag.String("addr", "127.0.0.1:7713", "listen address")
+		n           = flag.Int("n", 1000, "generated customers")
+		maxHandles  = flag.Int("max-handles", wire.DefaultMaxHandles, "per-session node handle limit")
+		maxBatch    = flag.Int("max-batch", wire.DefaultMaxBatch, "per-response frame cap for batched children/scan ops")
+		parallelism = flag.Int("parallelism", 1, "goroutines per query execution (1 = strictly sequential evaluation)")
+		exchangeBuf = flag.Int("exchange-buffer", 0, "exchange operator tuple buffer (0 = engine default)")
 	)
 	flag.Parse()
 
-	med := mix.New()
+	med := mix.NewWith(mix.Config{Parallelism: *parallelism, ExchangeBuffer: *exchangeBuf})
 	med.AddRelationalSource(workload.ScaleDB("db1", *n, 5, 42))
 	fail(med.AliasSource("&root1", "&db1.customer"))
 	fail(med.AliasSource("&root2", "&db1.orders"))

@@ -34,6 +34,14 @@ func (d *qdomSourceDoc) Open() (source.ElemCursor, error) {
 	return &qdomCursor{doc: d.doc}, nil
 }
 
+// OpenAsync implements source.AsyncOpener: scanning a nested federated
+// document forces the inner mediator's own query (and its source access), so
+// a parallel execution moves that onto a producer goroutine with a bounded
+// read-ahead. Batch size does not apply to an in-process QDOM scan.
+func (d *qdomSourceDoc) OpenAsync(int, bool) source.ElemCursor {
+	return source.OpenAhead(func() (source.ElemCursor, error) { return d.Open() }, 8)
+}
+
 type qdomCursor struct {
 	doc *qdom.Document
 	i   int

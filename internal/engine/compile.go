@@ -15,26 +15,31 @@ import (
 )
 
 // Ctx carries per-execution state: the source catalog, optional metrics,
-// execution options, and, inside nested plans, the partition bindings read
-// by nestedSrc.
+// execution options, the parallel-execution state, and, inside nested
+// plans, the partition bindings read by nestedSrc.
 type Ctx struct {
 	cat     *source.Catalog
 	nested  map[xmas.Var]SetVal
 	metrics *Metrics
 	opts    Options
+	// exec budgets producer goroutines and registers async cursors for
+	// force-close; always non-nil, sequential by default. Shared by
+	// nested/inner contexts so the whole execution draws on one budget.
+	exec *execState
 	// partial collects sources that dropped out mid-scan under
 	// Options.PartialResults (nil under fail-fast); the result loop turns
-	// them into annotation elements. Shared by nested/inner contexts.
+	// them into annotation elements. Shared by nested/inner contexts and
+	// guarded by exec.mu (producer goroutines append concurrently).
 	partial *[]*source.SourceUnavailableError
 }
 
 // NewCtx builds a top-level execution context over a catalog.
 func NewCtx(cat *source.Catalog) *Ctx {
-	return &Ctx{cat: cat}
+	return &Ctx{cat: cat, exec: newExecState(Options{})}
 }
 
 func (c *Ctx) withNested(v xmas.Var, s SetVal) *Ctx {
-	child := &Ctx{cat: c.cat, metrics: c.metrics, opts: c.opts, partial: c.partial, nested: map[xmas.Var]SetVal{}}
+	child := &Ctx{cat: c.cat, metrics: c.metrics, opts: c.opts, exec: c.exec, partial: c.partial, nested: map[xmas.Var]SetVal{}}
 	for k, val := range c.nested {
 		child.nested[k] = val
 	}
@@ -53,8 +58,23 @@ func (c *Ctx) noteUnavailable(err error) bool {
 	if !errors.As(err, &sue) {
 		return false
 	}
+	c.exec.mu.Lock()
 	*c.partial = append(*c.partial, sue)
+	c.exec.mu.Unlock()
 	return true
+}
+
+// noteAt returns the i-th recorded unavailable-source note, if present.
+func (c *Ctx) noteAt(i int) (*source.SourceUnavailableError, bool) {
+	if c.partial == nil {
+		return nil, false
+	}
+	c.exec.mu.Lock()
+	defer c.exec.mu.Unlock()
+	if i >= len(*c.partial) {
+		return nil, false
+	}
+	return (*c.partial)[i], true
 }
 
 // compiledOp instantiates a fresh cursor for one operator.
@@ -163,6 +183,7 @@ func compileMkSrc(o *xmas.MkSrc, cat *source.Catalog) (compiledOp, error) {
 						done = true
 						return Tuple{}, false, nil
 					}
+					done = true
 					return Tuple{}, false, err
 				}
 				cur = c
@@ -171,15 +192,21 @@ func compileMkSrc(o *xmas.MkSrc, cat *source.Catalog) (compiledOp, error) {
 			if err != nil {
 				// Under the partial-result policy a source lost mid-scan
 				// ends the scan instead of failing the query; the result
-				// loop annotates the truncation.
+				// loop annotates the truncation. Either way the source
+				// cursor is finished: close it so handles and read-ahead
+				// goroutines are released at the point of failure.
+				done = true
+				cur.Close()
 				if ctx.noteUnavailable(err) {
-					done = true
-					cur.Close()
 					return Tuple{}, false, nil
 				}
 				return Tuple{}, false, err
 			}
 			if !ok {
+				// Exhausted scans release their cursor immediately rather
+				// than waiting for the execution to be abandoned.
+				done = true
+				cur.Close()
 				return Tuple{}, false, nil
 			}
 			e := FromNode(n).WithProv(&Provenance{
@@ -195,7 +222,20 @@ func compileMkSrc(o *xmas.MkSrc, cat *source.Catalog) (compiledOp, error) {
 // the execution options request batched delivery and the source supports it
 // (remote mediators). Sources without batch support, or runs with default
 // options, take the plain Open path.
+//
+// Under Parallelism > 1, async-capable sources are opened in the background
+// instead (source.AsyncOpener): the open round trip and a bounded
+// read-ahead run on a producer goroutine, so distinct federated sources are
+// contacted concurrently. Parallel runs imply prefetch — overlapping source
+// access is their point — and register the cursor for force-close.
 func openCursor(ctx *Ctx, doc source.Doc) (source.ElemCursor, error) {
+	if ctx.exec.parallel() {
+		if ao, ok := doc.(source.AsyncOpener); ok {
+			cur := ao.OpenAsync(ctx.opts.BatchSize, true)
+			ctx.exec.track(cur)
+			return cur, nil
+		}
+	}
 	if bo, ok := doc.(source.BatchOpener); ok && (ctx.opts.BatchSize != 0 || ctx.opts.Prefetch) {
 		return bo.OpenBatch(ctx.opts.BatchSize, ctx.opts.Prefetch)
 	}
@@ -419,6 +459,10 @@ func compileJoin(o *xmas.Join, cat *source.Catalog) (compiledOp, error) {
 	}
 	schema := o.Schema()
 	cond := o.Cond
+	// Sides that touch sources may run on producer goroutines under
+	// Parallelism > 1 (decided per side at compile time, engaged per
+	// execution at cursor-construction time).
+	lAsync, rAsync := asyncSide(o.L), asyncSide(o.R)
 
 	// Equi-joins on two variables run as hash joins (build right, stream
 	// left); everything else is a nested loop over a materialized right.
@@ -430,6 +474,9 @@ func compileJoin(o *xmas.Join, cat *source.Catalog) (compiledOp, error) {
 			lv, rv = rv, lv
 		}
 		return func(ctx *Ctx) Cursor {
+			if ctx.exec.parallel() && (lAsync || rAsync) {
+				return newParHashJoin(ctx, left, right, schema, lv, rv, lAsync, rAsync)
+			}
 			linput := left(ctx)
 			var table map[string][]Tuple
 			var matches []Tuple
@@ -473,6 +520,9 @@ func compileJoin(o *xmas.Join, cat *source.Catalog) (compiledOp, error) {
 	}
 
 	return func(ctx *Ctx) Cursor {
+		if ctx.exec.parallel() && (lAsync || rAsync) {
+			return newParNLJoin(ctx, left, right, schema, cond, lAsync, rAsync)
+		}
 		linput := left(ctx)
 		var rrows []Tuple
 		loaded := false
@@ -546,7 +596,18 @@ func compileSemiJoin(o *xmas.SemiJoin, cat *source.Catalog) (compiledOp, error) 
 		hashable = true
 	}
 	outSchema := o.Schema()
+	keepOp, otherOp := o.L, o.R
+	if !keepLeft {
+		keepOp, otherOp = o.R, o.L
+	}
+	keepAsync, otherAsync := asyncSide(keepOp), asyncSide(otherOp)
 	return func(ctx *Ctx) Cursor {
+		if ctx.exec.parallel() && (keepAsync || otherAsync) {
+			return newParSemiJoin(ctx, keepSide, otherSide, &parSemiJoin{
+				outSchema: outSchema, cond: cond, keepLeft: keepLeft,
+				hashable: hashable, keepVar: keepVar, otherVar: otherVar,
+			}, keepAsync, otherAsync)
+		}
 		input := keepSide(ctx)
 		var keys map[string]bool
 		var others []Tuple
@@ -691,8 +752,16 @@ func compileCat(o *xmas.Cat, cat *source.Catalog) (compiledOp, error) {
 		return nil, err
 	}
 	schema := o.Schema()
+	async := asyncSide(o.In)
 	return func(ctx *Ctx) Cursor {
-		input := in(ctx)
+		var input Cursor
+		if ctx.exec.parallel() && async {
+			// cat itself is cheap; exchanging its input pipelines the
+			// upstream source scan with downstream consumption.
+			input = startExchange(ctx.exec, func() Cursor { return in(ctx) })
+		} else {
+			input = in(ctx)
+		}
 		return cursorFunc(func() (Tuple, bool, error) {
 			t, ok, err := input.Next()
 			if err != nil || !ok {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -12,6 +13,7 @@ import (
 // shipped-tuple counters. A Program runs with metrics when started via
 // RunWithMetrics; the zero cost of the disabled path keeps Run hot.
 type Metrics struct {
+	mu     sync.Mutex
 	counts map[string]*atomic.Int64
 }
 
@@ -20,10 +22,13 @@ func NewMetrics() *Metrics {
 	return &Metrics{counts: map[string]*atomic.Int64{}}
 }
 
-// counter returns the counter cell for an operator name, creating it.
-// Cells are created at compile/instrument time (single-goroutine), so the
-// map itself needs no lock at run time.
+// counter returns the counter cell for an operator name, creating it. Under
+// parallel execution, cursor instantiation — and hence cell creation — can
+// happen on exchange producer goroutines, so the map is mutex-guarded; the
+// per-tuple hot path only touches the atomic cell, never the map.
 func (m *Metrics) counter(op string) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	c, ok := m.counts[op]
 	if !ok {
 		c = &atomic.Int64{}
@@ -37,7 +42,9 @@ func (m *Metrics) Count(op string) int64 {
 	if m == nil {
 		return 0
 	}
+	m.mu.Lock()
 	c, ok := m.counts[op]
+	m.mu.Unlock()
 	if !ok {
 		return 0
 	}
@@ -49,6 +56,8 @@ func (m *Metrics) Total() int64 {
 	if m == nil {
 		return 0
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var total int64
 	for _, c := range m.counts {
 		total += c.Load()
@@ -61,6 +70,8 @@ func (m *Metrics) String() string {
 	if m == nil {
 		return "(no metrics)"
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	names := make([]string, 0, len(m.counts))
 	for n := range m.counts {
 		names = append(names, n)
@@ -89,6 +100,10 @@ func (cc *countingCursor) Next() (Tuple, bool, error) {
 	}
 	return t, ok, err
 }
+
+// Close forwards to the wrapped cursor so force-close cascades through
+// counting wrappers.
+func (cc *countingCursor) Close() { closeCursor(cc.in) }
 
 // RunWithMetrics starts an execution whose operator outputs are counted.
 // The per-operator counters measure mediator-side evaluation work (how many

@@ -26,6 +26,20 @@ type Options struct {
 	// Prefetch asks batch-capable sources to keep one batch in flight ahead
 	// of the engine's consumption.
 	Prefetch bool
+	// Parallelism caps the number of concurrently running goroutines one
+	// execution may use for intra-query parallelism — exchange producers,
+	// join build sides, async source scans — counting the consumer, so a
+	// value of n allows n-1 producer goroutines. 0 or 1 disables the
+	// machinery entirely and reproduces the sequential demand-driven
+	// evaluation exactly: same code paths, same wire round trips. Values
+	// above 1 also imply source prefetch (overlapping source access is the
+	// point) and open async-capable federated sources concurrently.
+	Parallelism int
+	// ExchangeBuffer bounds each exchange's tuple buffer — the backpressure
+	// window between a producer goroutine and its consumer. 0 means
+	// DefaultExchangeBuffer; the knob matters most when a join's probe side
+	// should keep streaming while its build side drains.
+	ExchangeBuffer int
 }
 
 // Program is a compiled XMAS plan, ready to run. Compilation resolves
@@ -77,7 +91,20 @@ func (p *Program) Plan() xmas.Op { return p.plan }
 type Result struct {
 	Root    *Elem
 	err     *error
+	exec    *execState
 	partial *[]*source.SourceUnavailableError
+}
+
+// Close cancels and joins every producer goroutine the execution still has
+// in flight (exchange operators, build sides, async source scans) and
+// releases open source cursors — the cleanup path for abandoned partial
+// scans. Navigation after Close sees truncated child lists. Idempotent; a
+// cheap no-op for sequential executions. Do not call it concurrently with
+// active navigation of the same result.
+func (r *Result) Close() {
+	if r.exec != nil {
+		r.exec.closeAll()
+	}
 }
 
 // Err reports an error encountered while forcing the result. Cursor errors
@@ -98,6 +125,8 @@ func (r *Result) Unavailable() []*source.SourceUnavailableError {
 	if r.partial == nil {
 		return nil
 	}
+	r.exec.mu.Lock()
+	defer r.exec.mu.Unlock()
 	out := make([]*source.SourceUnavailableError, len(*r.partial))
 	copy(out, *r.partial)
 	return out
@@ -119,6 +148,7 @@ func (p *Program) Run() *Result {
 func (p *Program) newCtx() *Ctx {
 	ctx := NewCtx(p.cat)
 	ctx.opts = p.opts
+	ctx.exec = newExecState(p.opts)
 	if p.opts.PartialResults {
 		ctx.partial = &[]*source.SourceUnavailableError{}
 	}
@@ -126,11 +156,13 @@ func (p *Program) newCtx() *Ctx {
 }
 
 // startFrom runs the program inside an enclosing execution (naive view
-// composition), inheriting the caller's metrics and partial-result state.
+// composition), inheriting the caller's metrics, goroutine budget and
+// partial-result state.
 func (p *Program) startFrom(parent *Ctx) *Result {
 	ctx := NewCtx(p.cat)
 	ctx.metrics = parent.metrics
 	ctx.opts = parent.opts
+	ctx.exec = parent.exec
 	ctx.partial = parent.partial
 	return p.start(ctx)
 }
@@ -159,8 +191,7 @@ func (p *Program) start(ctx *Ctx) *Result {
 				return nil, false
 			}
 			if !ok {
-				if ctx.partial != nil && annotated < len(*ctx.partial) {
-					note := (*ctx.partial)[annotated]
+				if note, present := ctx.noteAt(annotated); present {
 					id := xtree.ID(fmt.Sprintf("&unavailable%d(%s)", annotated, note.Source))
 					annotated++
 					return FromNode(xtree.NewElem(id, "SourceUnavailable", xtree.Text(note.Error()))), true
@@ -182,7 +213,7 @@ func (p *Program) start(ctx *Ctx) *Result {
 		}
 	})
 	root := NewElem(p.rootID, "list", kids)
-	return &Result{Root: root, err: &runErr, partial: ctx.partial}
+	return &Result{Root: root, err: &runErr, exec: ctx.exec, partial: ctx.partial}
 }
 
 // CompileFragment compiles a non-tD subplan into a cursor factory — a

@@ -12,6 +12,7 @@ package engine
 
 import (
 	"strings"
+	"sync"
 
 	"mix/internal/xmas"
 	"mix/internal/xtree"
@@ -159,7 +160,13 @@ func (e *Elem) String() string {
 
 // LazyList is a memoizing, lazily produced list. Get(i) forces production up
 // to index i exactly once; repeated navigation never re-pulls from sources.
+// Forcing is serialized by a per-list mutex: under parallel execution an
+// exchange producer can be forcing a list (e.g. a binding's child list feeding
+// a path match) while the consumer navigates the same elements from a
+// delivered tuple. The producer function runs with the lock held, which is
+// safe because producers only ever force *other* lists, never their own.
 type LazyList[T any] struct {
+	mu    sync.Mutex
 	items []T
 	next  func() (T, bool) // nil once exhausted
 }
@@ -181,6 +188,8 @@ func (l *LazyList[T]) Get(i int) (T, bool) {
 	if l == nil {
 		return zero, false
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for len(l.items) <= i && l.next != nil {
 		item, ok := l.next()
 		if !ok {
@@ -200,6 +209,8 @@ func (l *LazyList[T]) Len() int {
 	if l == nil {
 		return 0
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for l.next != nil {
 		item, ok := l.next()
 		if !ok {
@@ -217,6 +228,8 @@ func (l *LazyList[T]) Forced() int {
 	if l == nil {
 		return 0
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return len(l.items)
 }
 

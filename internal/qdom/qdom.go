@@ -40,6 +40,13 @@ func (d *Document) Origin() *Origin { return d.origin }
 // Err reports any error the underlying execution hit while navigating.
 func (d *Document) Err() error { return d.res.Err() }
 
+// Close releases the underlying execution: producer goroutines a parallel
+// evaluation still has in flight are cancelled and joined, and open source
+// cursors are released. The cleanup path for a client that abandons a
+// partially navigated document. Idempotent; a no-op for sequential
+// executions. Do not call concurrently with active navigation.
+func (d *Document) Close() { d.res.Close() }
+
 // Root returns the root node of the virtual document.
 func (d *Document) Root() *Node {
 	return &Node{doc: d, e: d.res.Root, isRoot: true}

@@ -78,6 +78,16 @@ type BatchOpener interface {
 	OpenBatch(batchSize int, prefetch bool) (ElemCursor, error)
 }
 
+// AsyncOpener is implemented by source documents whose open itself is worth
+// moving off the consumer goroutine (remote mediators, nested federated
+// documents): OpenAsync returns immediately with a cursor whose connection
+// setup and read-ahead run on a producer goroutine. The engine prefers it
+// over BatchOpener/Open when the execution runs with Parallelism > 1, so
+// distinct federated sources are contacted concurrently.
+type AsyncOpener interface {
+	OpenAsync(batchSize int, prefetch bool) ElemCursor
+}
+
 // RelBinding records that a document id is a wrapper view of a relation.
 type RelBinding struct {
 	Server   string

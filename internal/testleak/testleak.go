@@ -1,0 +1,39 @@
+// Package testleak asserts that a test leaves no goroutines behind — the
+// guard the parallel evaluation layer's tests use to prove that every
+// exchange producer, build-side drain and async source scan is joined by the
+// time a result is exhausted or closed.
+package testleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the goroutine count and returns a function that asserts
+// the count has returned to (or below) the snapshot. Producers are joined
+// synchronously by Close, but runtime bookkeeping (and goroutines finishing
+// their final returns) can lag a moment, so the assertion polls briefly
+// before failing. Use as:
+//
+//	defer testleak.Check(t)()
+func Check(t testing.TB) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+	}
+}

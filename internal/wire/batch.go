@@ -136,9 +136,18 @@ func (w *batchWindow) fetch(skip, size int) {
 	if !resp.More || len(resp.Frames) == 0 {
 		w.complete = true
 	}
-	w.nextSize = size * 2
-	if w.nextSize > w.cap {
+	if w.pre {
+		// Prefetch is the throughput mode: the consumer has declared it will
+		// keep scanning, so after the one-frame first batch (kept small for
+		// first-answer latency) the window jumps straight to the cap instead
+		// of climbing the doubling ladder — each rung is a serial round trip
+		// a draining consumer pays for nothing.
 		w.nextSize = w.cap
+	} else {
+		w.nextSize = size * 2
+		if w.nextSize > w.cap {
+			w.nextSize = w.cap
+		}
 	}
 }
 

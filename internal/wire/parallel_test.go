@@ -1,0 +1,170 @@
+package wire_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"mix"
+	"mix/internal/faultnet"
+	"mix/internal/testleak"
+	"mix/internal/wire"
+)
+
+// Parallel federated access coverage: an upper mediator joining two remote
+// (wire) sources. With Parallelism <= 1 the wire protocol must be exactly
+// today's sequential protocol (asserted via WireStats struct equality); with
+// Parallelism > 1 the answer must stay byte-identical while the two remote
+// scans overlap.
+
+// dialFlatFault is dialFlat plus fault injection on the client transport.
+func dialFlatFault(tb testing.TB, med *mix.Mediator, cfg wire.ClientConfig, faults faultnet.Config) *wire.Client {
+	tb.Helper()
+	server, client := net.Pipe()
+	srv := wire.NewServer(med)
+	go func() {
+		defer server.Close()
+		_ = srv.ServeConn(server)
+	}()
+	c := wire.NewClientConfig(faultnet.Wrap(client, faults), cfg)
+	tb.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+const fedJoinQuery = `
+FOR $A IN document(&ra)/It, $B IN document(&rb)/It
+WHERE $A/item = $B/item
+RETURN <P> $A $B </P>`
+
+// fedSetup builds the two-lower-mediator federation and returns the upper
+// mediator, the two wire clients (for their stats), and a teardown that
+// closes both connections — called before each test's leak check so the
+// per-connection server goroutines are gone too.
+func fedSetup(tb testing.TB, nA, nB, parallelism int, clientCfg wire.ClientConfig, faults faultnet.Config) (*mix.Mediator, *wire.Client, *wire.Client, func()) {
+	tb.Helper()
+	ca := dialFlatFault(tb, flatMediator(tb, nA), clientCfg, faults)
+	cb := dialFlatFault(tb, flatMediator(tb, nB), clientCfg, faults)
+	rootA, err := ca.Open("flatv")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rootB, err := cb.Open("flatv")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	upper := mix.NewWith(mix.Config{Parallelism: parallelism})
+	upper.Catalog().AddDoc("&ra", wire.NewRemoteDoc("&ra", rootA))
+	upper.Catalog().AddDoc("&rb", wire.NewRemoteDoc("&rb", rootB))
+	return upper, ca, cb, func() {
+		_ = ca.Close()
+		_ = cb.Close()
+	}
+}
+
+func runFedJoin(tb testing.TB, upper *mix.Mediator, wantMatches int) string {
+	tb.Helper()
+	doc, err := upper.Query(fedJoinQuery)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer doc.Close()
+	m := doc.Materialize()
+	if err := doc.Err(); err != nil {
+		tb.Fatal(err)
+	}
+	if len(m.Children) != wantMatches {
+		tb.Fatalf("federated join produced %d matches, want %d", len(m.Children), wantMatches)
+	}
+	return m.Pretty()
+}
+
+// TestParallelismOneWireExact: Parallelism 0 and 1 drive the exact same wire
+// protocol — every counter equal, for both the default and the
+// batch-disabled client configuration.
+func TestParallelismOneWireExact(t *testing.T) {
+	defer testleak.Check(t)()
+	for _, cfg := range []wire.ClientConfig{{}, {BatchSize: -1}} {
+		name := fmt.Sprintf("batch=%d", cfg.BatchSize)
+		statsAt := func(p int) (wire.WireStats, wire.WireStats) {
+			upper, ca, cb, teardown := fedSetup(t, 12, 9, p, cfg, faultnet.Config{})
+			runFedJoin(t, upper, 9)
+			sa, sb := ca.WireStats(), cb.WireStats()
+			teardown()
+			return sa, sb
+		}
+		a0, b0 := statsAt(0)
+		a1, b1 := statsAt(1)
+		if a0 != a1 || b0 != b1 {
+			t.Fatalf("%s: Parallelism=1 changed the wire protocol:\n p0: %+v %+v\n p1: %+v %+v", name, a0, b0, a1, b1)
+		}
+		if a0.RequestsSent == 0 || b0.RequestsSent == 0 {
+			t.Fatalf("%s: no wire traffic recorded: %+v %+v", name, a0, b0)
+		}
+		// Pin the single-step protocol absolutely: open + down + n·right (the
+		// last hits ⊥) + materialize/close traffic for 12 and 9 children.
+		if cfg.BatchSize == -1 && (a0.RequestsSent != 38 || b0.RequestsSent != 29) {
+			t.Fatalf("single-step protocol changed: ra=%d rb=%d round trips, want 38/29", a0.RequestsSent, b0.RequestsSent)
+		}
+		t.Logf("%s: sequential protocol pinned at ra=%d rb=%d round trips", name, a0.RequestsSent, b0.RequestsSent)
+	}
+}
+
+// TestParallelFederatedJoinIdentical: the join answer is byte-identical at
+// every parallelism level, while Parallelism > 1 actually overlaps the two
+// remote scans (each lower client still sees a full scan's traffic).
+func TestParallelFederatedJoinIdentical(t *testing.T) {
+	defer testleak.Check(t)()
+	var want string
+	for _, p := range []int{0, 2, 4} {
+		upper, ca, cb, teardown := fedSetup(t, 15, 11, p, wire.ClientConfig{}, faultnet.Config{})
+		got := runFedJoin(t, upper, 11)
+		scannedA, scannedB := ca.WireStats().RequestsSent, cb.WireStats().RequestsSent
+		teardown()
+		if p == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("parallelism %d diverged:\n--- got ---\n%s\n--- want ---\n%s", p, got, want)
+		}
+		if scannedA == 0 || scannedB == 0 {
+			t.Fatalf("parallelism %d: a lower source was never scanned", p)
+		}
+	}
+}
+
+// TestParallelFederatedJoinStress runs the federated join under injected
+// latency and abandons half the results mid-navigation; with -race it is the
+// cross-layer data-race probe, and the leak check proves every producer
+// (exchange, async open, wire prefetch) is joined.
+func TestParallelFederatedJoinStress(t *testing.T) {
+	defer testleak.Check(t)()
+	faults := faultnet.Config{LatencyProb: 0.5, Latency: 200 * time.Microsecond}
+	for round := 0; round < 6; round++ {
+		upper, _, _, teardown := fedSetup(t, 25, 20, 4, wire.ClientConfig{}, faults)
+		doc, err := upper.Query(fedJoinQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round%2 == 0 {
+			// Full navigation.
+			m := doc.Materialize()
+			if err := doc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if len(m.Children) != 20 {
+				t.Fatalf("round %d: %d matches, want 20", round, len(m.Children))
+			}
+		} else {
+			// Partial navigation, then abandon: Close must cancel and join
+			// everything still in flight.
+			if n := doc.Root().Down(); n == nil {
+				t.Fatalf("round %d: no first match", round)
+			}
+		}
+		doc.Close()
+		doc.Close() // idempotent
+		teardown()
+	}
+}

@@ -60,6 +60,16 @@ func (d *RemoteDoc) Health() source.Health {
 // batched at the client's defaults.
 func (d *RemoteDoc) Open() (source.ElemCursor, error) { return d.OpenBatch(0, false) }
 
+// OpenAsync implements source.AsyncOpener: the remote open (a network round
+// trip) and a bounded read-ahead run on a producer goroutine, so a parallel
+// execution contacts distinct remote mediators concurrently — compounding
+// with the batched prefetch OpenBatch already does.
+func (d *RemoteDoc) OpenAsync(batchSize int, prefetch bool) source.ElemCursor {
+	return source.OpenAhead(func() (source.ElemCursor, error) {
+		return d.OpenBatch(batchSize, prefetch)
+	}, 16)
+}
+
 // OpenBatch implements source.BatchOpener: a cursor whose children arrive
 // in adaptive deep batches (each frame ships its subtree XML, so the
 // per-child materialize round trip disappears too). batchSize 0 takes the

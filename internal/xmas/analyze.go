@@ -218,3 +218,49 @@ func Equal(a, b Op) bool {
 	}
 	return true
 }
+
+// SourceIDs returns the distinct sources a plan reads — mkSrc document ids
+// and relQuery servers (prefixed "sql:") — in first-reference order, nested
+// apply plans and view inputs included. The engine's parallel scheduler uses
+// it to decide whether overlapping a subtree's evaluation can actually hide
+// source latency.
+func SourceIDs(op Op) []string {
+	var out []string
+	seen := map[string]bool{}
+	Walk(op, func(o Op) bool {
+		switch x := o.(type) {
+		case *MkSrc:
+			if !seen[x.SrcID] {
+				seen[x.SrcID] = true
+				out = append(out, x.SrcID)
+			}
+		case *RelQuery:
+			id := "sql:" + x.Server
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// TouchesSource reports whether evaluating the plan contacts any source
+// (an mkSrc or relQuery anywhere in the subtree, nested plans included).
+func TouchesSource(op Op) bool { return len(SourceIDs(op)) > 0 }
+
+// ReadsPartition reports whether the plan contains a nestedSrc — i.e. the
+// subtree reads partition state owned by an enclosing apply. Such subtrees
+// share memoizing lazy state with their surroundings and must stay on the
+// consumer's goroutine.
+func ReadsPartition(op Op) bool {
+	found := false
+	Walk(op, func(o Op) bool {
+		if _, ok := o.(*NestedSrc); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

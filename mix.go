@@ -64,6 +64,16 @@ type Config struct {
 	// Prefetch asks batch-capable sources to keep one batch in flight ahead
 	// of the engine's consumption.
 	Prefetch bool
+	// Parallelism caps the goroutines one query execution may use for
+	// intra-query parallelism (exchange producers, concurrent federated
+	// source access), counting the consumer. 0 or 1 keeps evaluation
+	// strictly sequential — today's exact demand-driven protocol; values
+	// above 1 overlap source access and join input evaluation, and imply
+	// Prefetch for batch-capable sources.
+	Parallelism int
+	// ExchangeBuffer bounds each exchange operator's tuple buffer (the
+	// producer/consumer backpressure window). 0 means the engine default.
+	ExchangeBuffer int
 }
 
 // Mediator integrates sources, maintains views, and serves QDOM documents.
@@ -471,6 +481,8 @@ func (m *Mediator) engineOpts() engine.Options {
 		PartialResults: m.cfg.PartialResults,
 		BatchSize:      m.cfg.BatchSize,
 		Prefetch:       m.cfg.Prefetch,
+		Parallelism:    m.cfg.Parallelism,
+		ExchangeBuffer: m.cfg.ExchangeBuffer,
 	}
 }
 

@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race verify-static mixvet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+mixvet:
+	$(GO) run ./cmd/mixvet ./...
+
+# verify-static runs every static check the CI verify-static job runs.
+# staticcheck and govulncheck are skipped (with a notice) when the pinned
+# binaries are not on PATH, so the target works offline; CI installs them.
+verify-static: mixvet
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "verify-static: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "verify-static: govulncheck not installed, skipping (CI runs it)"; \
+	fi

@@ -1,0 +1,146 @@
+// mixvet is the repository's static-analysis driver: a go-vet-style tool
+// running the MIX-specific analyzers — cursorclose (every opened cursor or
+// result must be closed on all paths), framebudget (wire batches must flow
+// through the budget-checking appender) and atomiccell (no mixed
+// atomic/plain field access). It loads and type-checks packages with the
+// module's own dependency-free loader, test files included (the cursor
+// contract binds tests too).
+//
+// Usage:
+//
+//	mixvet ./...
+//	mixvet -run cursorclose,atomiccell ./internal/engine ./internal/wire
+//
+// Exit status is 1 when any diagnostic is reported, 2 on usage or load
+// errors. Individual findings can be waived with a trailing
+// `//mixvet:ignore` comment on the offending line; the waiver is meant to
+// be rare and greppable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mix/internal/analysis"
+	"mix/internal/analysis/atomiccell"
+	"mix/internal/analysis/cursorclose"
+	"mix/internal/analysis/framebudget"
+)
+
+var all = []*analysis.Analyzer{
+	cursorclose.Analyzer,
+	framebudget.Analyzer,
+	atomiccell.Analyzer,
+}
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	noTests := flag.Bool("notests", false, "skip _test.go files")
+	verbose := flag.Bool("v", false, "list analyzed packages")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mixvet [-run names] [-notests] packages...\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := all
+	if *runFlag != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runFlag, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mixvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixvet:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixvet:", err)
+		os.Exit(2)
+	}
+	loader.IncludeTests = !*noTests
+
+	dirs, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixvet:", err)
+		os.Exit(2)
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "mixvet: no packages match", strings.Join(patterns, " "))
+		os.Exit(2)
+	}
+
+	findings := 0
+	loadErrs := 0
+	for _, dir := range dirs {
+		units, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mixvet: %s: %v\n", dir, err)
+			loadErrs++
+			continue
+		}
+		for _, u := range units {
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "mixvet: analyzing %s (%d files)\n", u.ImportPath, len(u.Files))
+			}
+			for _, derr := range u.Degraded {
+				// A degraded unit means the type checker saw an error; the
+				// analyzers still ran but may have missed findings. Surface
+				// it loudly — a clean exit must mean a clean, full analysis.
+				fmt.Fprintf(os.Stderr, "mixvet: %s: load degraded: %v\n", u.ImportPath, derr)
+				loadErrs++
+			}
+			var diags []analysis.Diagnostic
+			for _, a := range analyzers {
+				name := a.Name
+				pass := &analysis.Pass{
+					Analyzer:  a,
+					Fset:      u.Fset,
+					Files:     u.Files,
+					Pkg:       u.Types,
+					TypesInfo: u.Info,
+					Report: func(d analysis.Diagnostic) {
+						d.Message = d.Message + " (" + name + ")"
+						diags = append(diags, d)
+					},
+				}
+				if _, err := a.Run(pass); err != nil {
+					fmt.Fprintf(os.Stderr, "mixvet: %s: %s: %v\n", u.ImportPath, a.Name, err)
+					loadErrs++
+				}
+			}
+			sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+			for _, d := range diags {
+				fmt.Printf("%s: %s\n", u.Fset.Position(d.Pos), d.Message)
+				findings++
+			}
+		}
+	}
+	switch {
+	case loadErrs > 0:
+		os.Exit(2)
+	case findings > 0:
+		os.Exit(1)
+	}
+}

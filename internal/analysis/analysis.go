@@ -1,0 +1,65 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis API: an Analyzer inspects one typed
+// package and reports Diagnostics through its Pass. The module carries its
+// own copy because the toolchain here is dependency-free; the surface is
+// kept source-compatible with the upstream API (Name/Doc/Run, Pass.Reportf)
+// so the analyzers under this directory could be lifted onto the real
+// driver unchanged.
+//
+// The drivers are cmd/mixvet (command line, exits nonzero on findings) and
+// analysistest (unit-test harness asserting findings against
+// `// want "regexp"` comments).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description printed by mixvet help.
+	Doc string
+	// Run executes the check over one package and reports findings via
+	// pass.Report. The result value is unused by the mini driver (kept for
+	// API compatibility).
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Pass carries one analyzed package: its syntax, its type information and
+// the report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files is the package's syntax, test files included when the driver
+	// was asked to load them.
+	Files []*ast.File
+	// Pkg is the package's type-checked object.
+	Pkg *types.Package
+	// TypesInfo records types, definitions, uses and selections for the
+	// package's expressions. Under a degraded load (an import that could
+	// not be fully type-checked) entries may be missing; analyzers must
+	// treat absent info as "unknown", never as proof.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves a token.Pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,134 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its diagnostics against `// want "regexp"` comments — the same contract
+// as golang.org/x/tools/go/analysis/analysistest, on the module's
+// dependency-free driver. Each `// want` comment expects one diagnostic on
+// its line whose message matches the quoted regular expression; a comment
+// may carry several quoted patterns for several expected diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mix/internal/analysis"
+)
+
+// Run loads dir as one package (test files included) and checks a's
+// diagnostics against the `// want` expectations in its sources.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.IncludeTests = true
+	units, err := l.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range units {
+		runUnit(t, u, a)
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func runUnit(t *testing.T, u *analysis.Package, a *analysis.Analyzer) {
+	t.Helper()
+	for _, err := range u.Degraded {
+		t.Errorf("%s: load degraded: %v", u.ImportPath, err)
+	}
+	var wants []*expectation
+	for _, f := range u.Files {
+		wants = append(wants, parseWants(t, u, f)...)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      u.Fset,
+		Files:     u.Files,
+		Pkg:       u.Types,
+		TypesInfo: u.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %s: %v", u.ImportPath, a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := u.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func parseWants(t *testing.T, u *analysis.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := u.Fset.Position(c.Pos())
+			for _, raw := range splitQuoted(t, pos.String(), text) {
+				rx, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx, raw: raw})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted extracts the double-quoted strings of a want comment.
+func splitQuoted(t *testing.T, at, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			break
+		}
+		rest := s[i:]
+		val, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment near %q: %v", at, rest, err)
+		}
+		unq, err := strconv.Unquote(val)
+		if err != nil {
+			t.Fatalf(fmt.Sprintf("%s: %v", at, err))
+		}
+		out = append(out, unq)
+		s = rest[len(val):]
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+// Package atomiccell reports mixed atomic/plain access to struct fields —
+// the data-race shape the parallel evaluation layer's Metrics cells are
+// prone to: a field updated with sync/atomic from producer goroutines but
+// read with a plain load on the consumer path races, and -race only
+// catches it when the schedule cooperates. Two patterns are flagged:
+//
+//   - a field passed by address to a sync/atomic function (AddInt64,
+//     LoadUint32, ...) anywhere in the package is also read or written
+//     plainly somewhere else;
+//   - a field of type sync/atomic.Int64 (or any of the method-style atomic
+//     cell types) is accessed other than through a method call or &-of —
+//     copying the cell copies the value non-atomically (and trips go vet's
+//     copylocks only when it crosses a function boundary).
+package atomiccell
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mix/internal/analysis"
+)
+
+// Analyzer is the atomiccell check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccell",
+	Doc:  "fields written with sync/atomic must not also be accessed plainly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ignored := analysis.IgnoredLines(pass)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !ignored[pass.Position(pos).Line] {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	// Pass 1: find the fields used atomically — `atomic.AddInt64(&x.f, 1)`
+	// marks f as an atomic cell.
+	atomicFields := map[*types.Var]token.Pos{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if fv := fieldVar(pass, un.X); fv != nil {
+					if _, seen := atomicFields[fv]; !seen {
+						atomicFields[fv] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag plain accesses of those fields, and non-method access to
+	// method-style atomic cells.
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldVar(pass, sel)
+			if fv == nil {
+				return true
+			}
+			if _, isAtomic := atomicFields[fv]; isAtomic {
+				if !inAtomicContext(pass, stack) {
+					report(sel.Pos(), "field %s is updated with sync/atomic elsewhere; this plain access races (use atomic.Load/Store or a lock everywhere)", fv.Name())
+				}
+				return true
+			}
+			if isAtomicCellType(fv.Type()) && !isMethodOrAddr(stack) {
+				report(sel.Pos(), "atomic cell %s copied or read non-atomically; call its methods instead", fv.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicCall reports a call to a function of sync/atomic.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldVar resolves a selector expression to the struct field it denotes.
+func fieldVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s := pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// inAtomicContext reports whether the selector sits under `&x.f` passed to
+// a sync/atomic call.
+func inAtomicContext(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.UnaryExpr:
+			if p.Op != token.AND {
+				return false
+			}
+		case *ast.CallExpr:
+			return isAtomicCall(pass, p)
+		case *ast.SelectorExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isMethodOrAddr reports whether the innermost enclosing expression is a
+// method call on the selector or an address-of.
+func isMethodOrAddr(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return true
+	}
+	switch p := stack[len(stack)-2].(type) {
+	case *ast.SelectorExpr:
+		return true // x.cell.Load(): the cell selector is the receiver chain
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// isAtomicCellType reports the method-style cell types of sync/atomic.
+func isAtomicCellType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return strings.HasPrefix(obj.Name(), "Int") || strings.HasPrefix(obj.Name(), "Uint") ||
+		obj.Name() == "Bool" || obj.Name() == "Value" || strings.HasPrefix(obj.Name(), "Pointer")
+}

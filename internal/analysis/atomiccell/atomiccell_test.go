@@ -1,0 +1,12 @@
+package atomiccell_test
+
+import (
+	"testing"
+
+	"mix/internal/analysis/analysistest"
+	"mix/internal/analysis/atomiccell"
+)
+
+func TestAtomicCell(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", atomiccell.Analyzer)
+}

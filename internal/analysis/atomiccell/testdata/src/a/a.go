@@ -1,0 +1,38 @@
+// Package a exercises the atomiccell analyzer: fields touched with
+// sync/atomic from producer goroutines must never also be accessed plainly.
+package a
+
+import "sync/atomic"
+
+type Metrics struct {
+	tuples int64
+	rounds atomic.Int64
+	name   string
+}
+
+func (m *Metrics) producer() {
+	go func() {
+		atomic.AddInt64(&m.tuples, 1)
+		m.rounds.Add(1)
+	}()
+}
+
+func (m *Metrics) goodRead() int64 {
+	return atomic.LoadInt64(&m.tuples) + m.rounds.Load()
+}
+
+func (m *Metrics) racyRead() int64 {
+	return m.tuples // want "field tuples is updated with sync/atomic elsewhere"
+}
+
+func (m *Metrics) racyWrite() {
+	m.tuples = 0 // want "field tuples is updated with sync/atomic elsewhere"
+}
+
+func (m *Metrics) copyCell() atomic.Int64 {
+	return m.rounds // want "atomic cell rounds copied or read non-atomically"
+}
+
+func (m *Metrics) plainFieldOK() string {
+	return m.name
+}

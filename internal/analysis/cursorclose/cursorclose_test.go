@@ -1,0 +1,12 @@
+package cursorclose_test
+
+import (
+	"testing"
+
+	"mix/internal/analysis/analysistest"
+	"mix/internal/analysis/cursorclose"
+)
+
+func TestCursorClose(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", cursorclose.Analyzer)
+}

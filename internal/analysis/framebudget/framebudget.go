@@ -1,0 +1,83 @@
+// Package framebudget enforces the wire layer's batch budget discipline:
+// children/scan response batches must be built through the budget-checking
+// frame appender (which enforces MaxBatch, the MaxFrame byte budget and the
+// handle-table bound), never by raw appends or assignments to a Frames
+// field. A raw append compiles and works on small batches, then silently
+// ships over-budget responses that blow the client's frame limit in
+// production — exactly the class of bug the budget helpers exist to make
+// impossible.
+//
+// The check applies to packages named "wire" (and their test packages).
+// Composite literals in _test.go files are exempt: fixture responses are
+// data, not batch construction.
+package framebudget
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"mix/internal/analysis"
+)
+
+// Analyzer is the framebudget check.
+var Analyzer = &analysis.Analyzer{
+	Name: "framebudget",
+	Doc:  "batch frames must flow through the budget-checking appender, not raw appends",
+	Run:  run,
+}
+
+// allowedFuncs may touch Frames directly: the budget appender itself and
+// the response encoder.
+var allowedRecv = map[string]bool{"frameAppender": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if base := strings.TrimSuffix(pass.Pkg.Name(), "_test"); base != "wire" {
+		return nil, nil
+	}
+	ignored := analysis.IgnoredLines(pass)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !ignored[pass.Position(pos).Line] {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	for _, fn := range analysis.Functions(pass) {
+		if allowedRecv[fn.Recv] {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "append" && len(s.Args) > 0 {
+					if isFramesSel(s.Args[0]) {
+						report(s.Pos(), "raw append to Frames bypasses the MaxFrame/MaxBatch budget; use the frameAppender helper")
+					}
+				}
+			case *ast.AssignStmt:
+				for i, l := range s.Lhs {
+					if !isFramesSel(l) {
+						continue
+					}
+					// The self-append idiom is already reported through its
+					// append call; don't double-report the assignment.
+					if i < len(s.Rhs) {
+						if call, ok := s.Rhs[i].(*ast.CallExpr); ok {
+							if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+								continue
+							}
+						}
+					}
+					report(s.Pos(), "direct assignment to Frames bypasses the MaxFrame/MaxBatch budget; use the frameAppender helper")
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFramesSel(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Frames"
+}

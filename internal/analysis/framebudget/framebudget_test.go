@@ -1,0 +1,12 @@
+package framebudget_test
+
+import (
+	"testing"
+
+	"mix/internal/analysis/analysistest"
+	"mix/internal/analysis/framebudget"
+)
+
+func TestFrameBudget(t *testing.T) {
+	analysistest.Run(t, "testdata/src/wire", framebudget.Analyzer)
+}

@@ -1,0 +1,56 @@
+// Package wire mirrors the real wire package's batch-building shapes for
+// the framebudget analyzer: Frames may only be built through the
+// budget-checking frameAppender.
+package wire
+
+type NodeFrame struct {
+	Handle int64
+	Label  string
+}
+
+type Response struct {
+	OK     bool
+	Frames []NodeFrame
+	More   bool
+}
+
+// frameAppender is the allowed budget helper; its methods may touch Frames.
+type frameAppender struct {
+	resp   *Response
+	budget int
+	used   int
+	max    int
+}
+
+func (a *frameAppender) add(f NodeFrame) bool {
+	if len(a.resp.Frames) >= a.max {
+		return false
+	}
+	a.resp.Frames = append(a.resp.Frames, f)
+	return true
+}
+
+func goodBatch(frames []NodeFrame) Response {
+	var resp Response
+	app := &frameAppender{resp: &resp, budget: 1 << 20, max: 16}
+	for _, f := range frames {
+		if !app.add(f) {
+			resp.More = true
+			break
+		}
+	}
+	return resp
+}
+
+func rawAppend(resp *Response, f NodeFrame) {
+	resp.Frames = append(resp.Frames, f) // want "raw append to Frames bypasses the MaxFrame/MaxBatch budget"
+}
+
+func rawOverwrite(resp *Response, frames []NodeFrame) {
+	resp.Frames = frames // want "direct assignment to Frames bypasses the MaxFrame/MaxBatch budget"
+}
+
+// Composite literals are data, not batch construction.
+func fixture() Response {
+	return Response{OK: true, Frames: []NodeFrame{{Handle: 1}}}
+}

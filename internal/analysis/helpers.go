@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IgnoredLines collects the lines carrying a `//mixvet:ignore` comment;
+// analyzers suppress findings reported on those lines. The escape hatch is
+// deliberate and greppable — every use is visible in review.
+func IgnoredLines(pass *Pass) map[int]bool {
+	out := map[int]bool{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "mixvet:ignore") {
+					out[pass.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HasCloseMethod reports whether t (or *t) has a Close method with no
+// parameters — the cursor/result cleanup contract. Both `Close()` and
+// `Close() error` qualify.
+func HasCloseMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	check := func(ms *types.MethodSet) bool {
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i)
+			if m.Obj().Name() != "Close" {
+				continue
+			}
+			if sig, ok := m.Obj().Type().(*types.Signature); ok && sig.Params().Len() == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if check(types.NewMethodSet(t)) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return check(types.NewMethodSet(types.NewPointer(t)))
+	}
+	return false
+}
+
+// CalleeName returns the bare name of a call's function: "Open" for both
+// `Open(...)` and `x.Open(...)`.
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// EnclosingFuncs indexes every function body in the pass by syntax node,
+// pairing each with its name for allowlist checks. FuncLits get the name of
+// their enclosing declaration plus ".func".
+type FuncInfo struct {
+	Name string // declared name, or outer name + ".func" for literals
+	Recv string // receiver type name for methods, "" otherwise
+	Body *ast.BlockStmt
+}
+
+// Functions lists every function body in the pass (declarations and
+// literals), outermost first within each file.
+func Functions(pass *Pass) []FuncInfo {
+	var out []FuncInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := ""
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				recv = recvTypeName(fd.Recv.List[0].Type)
+			}
+			out = append(out, FuncInfo{Name: fd.Name.Name, Recv: recv, Body: fd.Body})
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					out = append(out, FuncInfo{Name: name + ".func", Recv: recv, Body: fl.Body})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis unit: either a package's compiled
+// files plus its in-package test files, or a directory's external (_test
+// suffixed) test package.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Degraded records type-check problems that were suppressed (an
+	// import that failed to load, a reference into a stubbed package).
+	// Analyzers still run; they treat missing type info conservatively.
+	Degraded []error
+}
+
+// Loader loads and type-checks the packages of a single module without any
+// external tooling: module-internal imports are resolved against the module
+// root, standard-library imports are type-checked from GOROOT source, and
+// anything else degrades to a stub package rather than failing the load.
+type Loader struct {
+	// ModuleRoot is the directory holding go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+	// IncludeTests adds _test.go files to each loaded unit and emits the
+	// external test package as its own unit.
+	IncludeTests bool
+
+	fset     *token.FileSet
+	imports  map[string]*types.Package // import-graph cache, non-test files only
+	std      types.Importer
+	degraded []error
+}
+
+// NewLoader builds a loader rooted at the module containing dir. It reads
+// the module path from go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModuleRoot: root,
+		ModulePath: path,
+		fset:       fset,
+		imports:    map[string]*types.Package{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil)
+	return l, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// ExpandPatterns resolves package patterns ("./...", a directory path) to
+// the list of directories containing Go files. testdata and hidden
+// directories are skipped, as the go tool does.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = l.ModuleRoot
+			}
+		}
+		if pat == "" {
+			pat = "."
+		}
+		if !recursive {
+			if hasGoFiles(pat) {
+				add(pat)
+			}
+			continue
+		}
+		err := filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load type-checks the directory and returns its analysis units: the
+// package (with in-package test files when IncludeTests is set) and, when
+// present and requested, the external test package.
+func (l *Loader) Load(dir string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	compiled, inTest, extTest, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(compiled) == 0 && len(extTest) == 0 && len(inTest) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	importPath := l.importPathFor(dir)
+	var units []*Package
+
+	if len(compiled) > 0 || len(inTest) > 0 {
+		files := append(append([]*ast.File{}, compiled...), inTest...)
+		if !l.IncludeTests {
+			files = compiled
+		}
+		if len(files) > 0 {
+			u, err := l.check(importPath, dir, files)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+		}
+	}
+	if l.IncludeTests && len(extTest) > 0 {
+		u, err := l.check(importPath+"_test", dir, extTest)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	if rel, err := filepath.Rel(l.ModuleRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.ModulePath
+		}
+		return l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return "command-line-arguments/" + filepath.Base(dir)
+}
+
+// parseDir splits a directory's files into compiled, in-package test and
+// external test syntax.
+func (l *Loader) parseDir(dir string) (compiled, inTest, extTest []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var basePkg string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, perr := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		switch {
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			extTest = append(extTest, f)
+		case strings.HasSuffix(name, "_test.go"):
+			inTest = append(inTest, f)
+		default:
+			if basePkg == "" {
+				basePkg = f.Name.Name
+			}
+			compiled = append(compiled, f)
+		}
+	}
+	return compiled, inTest, extTest, nil
+}
+
+// check type-checks one unit with soft error handling: import failures and
+// type errors degrade the unit instead of failing the load.
+func (l *Loader) check(importPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var degraded []error
+	conf := types.Config{
+		Importer:                 (*unitImporter)(l),
+		Error:                    func(err error) { degraded = append(degraded, err) },
+		DisableUnusedImportCheck: true,
+	}
+	pkg, _ := conf.Check(importPath, l.fset, files, info) // soft: errors collected above
+	name := ""
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	return &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Name:       name,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+		Degraded:   degraded,
+	}, nil
+}
+
+// unitImporter resolves imports for a unit: module-internal packages are
+// type-checked from source against the module root (non-test files only),
+// everything else goes to the GOROOT source importer, and a package that
+// cannot be loaded at all becomes an incomplete stub.
+type unitImporter Loader
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(u)
+	if pkg, ok := l.imports[path]; ok {
+		return pkg, nil
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	var pkg *types.Package
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+		compiled, _, _, err := l.parseDir(dir)
+		if err == nil && len(compiled) > 0 {
+			info := &types.Info{} // imports need objects only, not expression info
+			conf := types.Config{
+				Importer:                 u,
+				Error:                    func(err error) { l.degraded = append(l.degraded, err) },
+				DisableUnusedImportCheck: true,
+			}
+			pkg, _ = conf.Check(path, l.fset, compiled, info)
+		} else if err != nil {
+			l.degraded = append(l.degraded, fmt.Errorf("import %q: %v", path, err))
+		}
+	} else {
+		p, err := l.std.Import(path)
+		if err != nil {
+			l.degraded = append(l.degraded, fmt.Errorf("import %q: %v", path, err))
+		} else {
+			pkg = p
+		}
+	}
+	if pkg == nil {
+		// Incomplete stub: references into it type-check as errors, which
+		// the soft error handler collects; analysis proceeds degraded.
+		pkg = types.NewPackage(path, guessPackageName(path))
+	}
+	l.imports[path] = pkg
+	return pkg, nil
+}
+
+func guessPackageName(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.LastIndexByte(base, '.'); i >= 0 { // host.tld style
+		base = base[i+1:]
+	}
+	return base
+}

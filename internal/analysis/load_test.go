@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func moduleRootForTest(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestLoadWirePackage type-checks a real module package (with test files)
+// through the dependency-free loader and requires usable type information:
+// selections resolved, methods found — what the analyzers rely on.
+func TestLoadWirePackage(t *testing.T) {
+	root := moduleRootForTest(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.IncludeTests = true
+	units, err := l.Load(filepath.Join(root, "internal", "wire"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) == 0 {
+		t.Fatal("no units loaded")
+	}
+	base := units[0]
+	if base.Types == nil || base.Types.Name() != "wire" {
+		t.Fatalf("base unit not type-checked: %+v", base.Types)
+	}
+	// The loader degrades rather than fails, but a healthy module package
+	// must type-check cleanly — degradation here means analyzers would
+	// silently miss findings.
+	for _, err := range base.Degraded {
+		t.Errorf("degraded: %v", err)
+	}
+	// Type info must resolve a known method selection somewhere.
+	found := false
+	for _, f := range base.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s := base.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no method selection resolved; type info unusable")
+	}
+}
+
+// TestExpandPatterns resolves ./... to the module's package directories.
+func TestExpandPatterns(t *testing.T) {
+	root := moduleRootForTest(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.ExpandPatterns([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSome := map[string]bool{
+		filepath.Join(root, "internal", "engine"): false,
+		filepath.Join(root, "internal", "wire"):   false,
+		filepath.Join(root, "cmd", "mixvet"):      false,
+	}
+	for _, d := range dirs {
+		if _, ok := wantSome[d]; ok {
+			wantSome[d] = true
+		}
+	}
+	for d, seen := range wantSome {
+		if !seen {
+			t.Errorf("pattern expansion missed %s (got %d dirs)", d, len(dirs))
+		}
+	}
+}

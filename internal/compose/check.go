@@ -1,0 +1,15 @@
+package compose
+
+import "mix/internal/xmas"
+
+// checkPlan validates a composed plan, upgrading to the full static
+// verifier (nested-schema consistency and all) in debug mode. Composition
+// splices a view plan under a query plan with fresh-variable renaming; the
+// verifier gate catches a splice that breaks a partition schema before the
+// rewriter or engine ever sees the plan.
+func checkPlan(plan xmas.Op) error {
+	if xmas.DebugEnabled() {
+		return xmas.Verify(plan)
+	}
+	return xmas.Validate(plan)
+}

@@ -125,7 +125,7 @@ func Decontextualize(origin *OriginPlan, ctx qdom.Context, q *xquery.Query, root
 	if replaced > 1 {
 		return nil, fmt.Errorf("compose: query references document(%s) %d times; only one root binding is supported", rootName, replaced)
 	}
-	if err := xmas.Validate(composed); err != nil {
+	if err := checkPlan(composed); err != nil {
 		return nil, fmt.Errorf("compose: produced invalid plan: %w", err)
 	}
 

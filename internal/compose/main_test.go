@@ -1,0 +1,15 @@
+package compose_test
+
+import (
+	"os"
+	"testing"
+
+	"mix/internal/xmas"
+)
+
+// The compose suite runs with the debug gate on: composed plans go through
+// the full static verifier, not just well-formedness validation.
+func TestMain(m *testing.M) {
+	xmas.SetDebug(true)
+	os.Exit(m.Run())
+}

@@ -37,7 +37,7 @@ func NaiveCompose(origin *OriginPlan, q *xquery.Query, rootName, resultRootID st
 	if attached == 0 {
 		return nil, fmt.Errorf("compose: query does not reference document(%s)", rootName)
 	}
-	if err := xmas.Validate(composed); err != nil {
+	if err := checkPlan(composed); err != nil {
 		return nil, fmt.Errorf("compose: naive composition invalid: %w", err)
 	}
 

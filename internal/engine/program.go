@@ -59,10 +59,13 @@ func Compile(plan xmas.Op, cat *source.Catalog) (*Program, error) {
 	return CompileWith(plan, cat, Options{})
 }
 
-// CompileWith validates and compiles a plan. The plan must be rooted at tD
+// CompileWith verifies and compiles a plan. The plan must be rooted at tD
 // (every XMAS plan ends with the tuple-destroy operator, paper operator 9).
+// Verification runs the full static checker (xmas.Verify), so a plan whose
+// nested schemas are inconsistent is rejected with a *xmas.VerifyError here
+// instead of panicking mid-execution.
 func CompileWith(plan xmas.Op, cat *source.Catalog, opts Options) (*Program, error) {
-	if err := xmas.Validate(plan); err != nil {
+	if err := xmas.Verify(plan); err != nil {
 		return nil, err
 	}
 	td, ok := plan.(*xmas.TD)

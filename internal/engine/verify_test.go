@@ -1,0 +1,52 @@
+package engine_test
+
+import (
+	"errors"
+	"testing"
+
+	"mix/internal/engine"
+	"mix/internal/source"
+	"mix/internal/xmas"
+	"mix/internal/xtree"
+)
+
+// TestCompileRejectsUnboundNestedVar is a regression test for a class of
+// plan that used to crash mid-execution: an apply whose nestedSrc declares a
+// variable the partition schema does not bind. xmas.Validate accepts the
+// plan (the nested body is internally consistent with its declared schema),
+// and before Compile switched to xmas.Verify the engine panicked in
+// Tuple.MustGet ("variable $MISSING not bound in schema") on the first
+// partition read. Compile must now reject it with a typed *xmas.VerifyError
+// before anything runs.
+func TestCompileRejectsUnboundNestedVar(t *testing.T) {
+	root := xtree.NewElem("&u", "list",
+		xtree.NewElem("&o1", "order",
+			xtree.NewElem("&k1", "cid", xtree.Text("A")),
+			xtree.NewElem("&v1", "val", xtree.Text("10")),
+		),
+	)
+	cat := source.NewCatalog()
+	cat.AddXMLDoc("&doc", root)
+
+	getO := &xmas.GetD{
+		In:   &xmas.MkSrc{SrcID: "&doc", Out: "$D"},
+		From: "$D", Path: xmas.ParsePath("order"), Out: "$O",
+	}
+	getK := &xmas.GetD{In: getO, From: "$O", Path: xmas.ParsePath("order.cid"), Out: "$K"}
+	gby := &xmas.GroupBy{In: getK, Keys: []xmas.Var{"$K"}, Out: "$P"}
+	nested := &xmas.TD{In: &xmas.NestedSrc{V: "$P", Vars: []xmas.Var{"$K", "$MISSING"}}, V: "$MISSING"}
+	apply := &xmas.Apply{In: gby, Plan: nested, InpVar: "$P", Out: "$Z"}
+	plan := &xmas.TD{In: apply, V: "$Z"}
+
+	if err := xmas.Validate(plan); err != nil {
+		t.Fatalf("precondition: Validate accepts the plan (the hole Verify closes), got %v", err)
+	}
+	_, err := engine.Compile(plan, cat)
+	var verr *xmas.VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("Compile = %v, want *xmas.VerifyError", err)
+	}
+	if verr.Rule != "nested-schema" {
+		t.Fatalf("Rule = %q, want nested-schema", verr.Rule)
+	}
+}

@@ -126,6 +126,7 @@ func LazyVsEager(sizes []int, ordersPer int, browseKs []int) Table {
 			must(err)
 			browse(docL, k)
 			lazyDur := time.Since(start)
+			docL.Close()
 			lazyShipped := medL.Stats().TuplesShipped
 
 			// Eager: materialize everything, then browse k (free).
@@ -136,6 +137,7 @@ func LazyVsEager(sizes []int, ordersPer int, browseKs []int) Table {
 			must(err)
 			docE.Materialize()
 			eagerDur := time.Since(start)
+			docE.Close()
 			eagerShipped := medE.Stats().TuplesShipped
 
 			t.Rows = append(t.Rows, []string{

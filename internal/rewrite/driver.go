@@ -46,8 +46,18 @@ type Options struct {
 
 // Optimize rewrites the plan to a fixpoint and returns the optimized plan
 // and the applied-step trace. The input plan is not mutated.
+//
+// In debug mode (xmas.SetDebug, MIXDEBUG env) every fired rule is gated:
+// the plan must pass xmas.Verify after the step and the rewritten site must
+// preserve its exported schema modulo renaming. A gate rejection surfaces
+// as a *GateError and always means a rule bug.
 func Optimize(plan xmas.Op, opts Options) (xmas.Op, []Step, error) {
-	if err := xmas.Validate(plan); err != nil {
+	debug := xmas.DebugEnabled()
+	if debug {
+		if err := xmas.Verify(plan); err != nil {
+			return nil, nil, fmt.Errorf("rewrite: input plan invalid: %w", err)
+		}
+	} else if err := xmas.Validate(plan); err != nil {
 		return nil, nil, fmt.Errorf("rewrite: input plan invalid: %w", err)
 	}
 	maxSteps := opts.MaxSteps
@@ -61,22 +71,34 @@ func Optimize(plan xmas.Op, opts Options) (xmas.Op, []Step, error) {
 		changed := false
 		// Structural rules to fixpoint.
 		for {
-			next, name, ok := applyFirst(cur, rules)
+			f, ok := applyFirstInfo(cur, rules)
 			if !ok {
 				break
 			}
-			cur = next
-			trace = append(trace, Step{Rule: name, Plan: xmas.Format(cur)})
+			if debug {
+				if err := checkStep(f, f.plan); err != nil {
+					return nil, trace, err
+				}
+			}
+			cur = f.plan
+			trace = append(trace, Step{Rule: f.rule, Plan: xmas.Format(cur)})
 			changed = true
 			steps++
 			if steps > maxSteps {
 				return nil, trace, fmt.Errorf("rewrite: exceeded %d steps (rule loop?)", maxSteps)
 			}
 		}
-		// Live-variable elimination and join→semijoin.
+		// Live-variable elimination and join→semijoin. Dead-elim narrows
+		// schemas by design (that is its whole point), so the gate only
+		// re-verifies the plan and skips the site-preservation check.
 		if !opts.NoDeadElim {
 			next, fired := eliminateDead(cur)
 			if fired {
+				if debug {
+					if err := xmas.Verify(next); err != nil {
+						return nil, trace, &GateError{Rule: "dead-elim", Err: err}
+					}
+				}
 				cur = next
 				trace = append(trace, Step{Rule: "dead-elim", Plan: xmas.Format(cur)})
 				changed = true
@@ -88,7 +110,7 @@ func Optimize(plan xmas.Op, opts Options) (xmas.Op, []Step, error) {
 			break
 		}
 	}
-	if err := xmas.Validate(cur); err != nil {
+	if err := xmas.Verify(cur); err != nil {
 		return nil, trace, fmt.Errorf("rewrite: produced invalid plan: %w", err)
 	}
 	return cur, trace, nil
@@ -111,13 +133,21 @@ type rule struct {
 	apply func(st *state, op xmas.Op) (xmas.Op, map[xmas.Var]xmas.Var, bool)
 }
 
-// state carries plan-wide context a rule may need (fresh-name generation).
+// state carries plan-wide context a rule may need (fresh-name generation)
+// and records the fired site for the debug gate.
 type state struct {
-	taken map[xmas.Var]bool
+	taken   map[xmas.Var]bool
+	oldSite xmas.Op
+	newSite xmas.Op
 }
+
+// testExtraRules lets gate tests inject deliberately broken rules ahead of
+// the real rule set. Always empty outside tests.
+var testExtraRules []rule
 
 func ruleSet(opts Options) []rule {
 	var rules []rule
+	rules = append(rules, testExtraRules...)
 	rules = append(rules, rule{"empty-prop", ruleEmptyProp})
 	if len(opts.ChildLabels) > 0 {
 		rules = append(rules, rule{"schema-unsat", makeSchemaUnsat(opts.ChildLabels)})
@@ -144,24 +174,45 @@ func ruleSet(opts Options) []rule {
 	return rules
 }
 
+// firedStep describes one applied rewrite: the resulting plan, the rule,
+// the site before and after (pre-renaming), and the step's plan-wide
+// renaming. The debug gate checks schema preservation against it.
+type firedStep struct {
+	plan    xmas.Op
+	rule    string
+	oldSite xmas.Op
+	newSite xmas.Op
+	ren     map[xmas.Var]xmas.Var
+}
+
 // applyFirst walks the plan in pre-order (including nested apply plans and
 // mkSrc view inputs) and applies the first matching rule at the first
 // matching site, rebuilding the spine above it.
 func applyFirst(root xmas.Op, rules []rule) (xmas.Op, string, bool) {
+	f, ok := applyFirstInfo(root, rules)
+	if !ok {
+		return root, "", false
+	}
+	return f.plan, f.rule, true
+}
+
+// applyFirstInfo is applyFirst plus the step details the debug gate needs.
+func applyFirstInfo(root xmas.Op, rules []rule) (firedStep, bool) {
 	st := &state{taken: xmas.AllVars(root)}
 	newRoot, name, ren, fired := tryAt(st, root, rules)
 	if !fired {
-		return root, "", false
+		return firedStep{}, false
 	}
 	if len(ren) > 0 {
 		newRoot = xmas.Rename(newRoot, ren)
 	}
-	return newRoot, name, true
+	return firedStep{plan: newRoot, rule: name, oldSite: st.oldSite, newSite: st.newSite, ren: ren}, true
 }
 
 func tryAt(st *state, op xmas.Op, rules []rule) (xmas.Op, string, map[xmas.Var]xmas.Var, bool) {
 	for _, r := range rules {
 		if out, ren, ok := r.apply(st, op); ok {
+			st.oldSite, st.newSite = op, out
 			return out, r.name, ren, true
 		}
 	}

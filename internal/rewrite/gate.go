@@ -1,0 +1,54 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"mix/internal/xmas"
+)
+
+// GateError is returned by Optimize when the debug-mode verification gate
+// rejects a rewrite step: the step produced a plan that fails xmas.Verify,
+// or the rewritten site dropped bindings its old schema exported (modulo the
+// step's plan-wide renaming). A GateError always indicates a rewrite-rule
+// bug, never a bad input plan — input plans are verified before any rule
+// fires.
+type GateError struct {
+	Rule string // rewrite rule whose step was rejected
+	Err  error
+}
+
+func (e *GateError) Error() string {
+	return fmt.Sprintf("rewrite: gate rejected %s step: %v", e.Rule, e.Err)
+}
+
+func (e *GateError) Unwrap() error { return e.Err }
+
+// checkStep is the debug gate run after every fired rule: the whole plan
+// must still verify, and the rewritten site must export every binding the
+// old site did, modulo the step's renaming (rename(old schema) ⊆ new
+// schema). Rules may widen a site's schema (unfolding exposes auxiliary
+// variables that dead-elim later strips) but never silently narrow it —
+// narrowing is how a buggy rule changes query answers.
+func checkStep(f firedStep, plan xmas.Op) error {
+	if err := xmas.Verify(plan); err != nil {
+		return &GateError{Rule: f.rule, Err: err}
+	}
+	sub := func(v xmas.Var) xmas.Var {
+		if nv, ok := f.ren[v]; ok {
+			return nv
+		}
+		return v
+	}
+	have := map[xmas.Var]bool{}
+	for _, v := range f.newSite.Schema() {
+		have[sub(v)] = true
+	}
+	for _, v := range f.oldSite.Schema() {
+		if !have[sub(v)] {
+			return &GateError{Rule: f.rule, Err: fmt.Errorf(
+				"site schema not preserved: %s (from %s) missing in rewritten site %s",
+				sub(v), xmas.Describe(f.oldSite), xmas.Describe(f.newSite))}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package rewrite
+
+import (
+	"testing"
+
+	"mix/internal/xmas"
+	"mix/internal/xtree"
+)
+
+// Golden-plan tests: each Table 2 rule applied once to a hand-built plan,
+// with the rewritten plan asserted structurally against the exact expected
+// plan (xmas.Equal compares every operator parameter). The behavioral tests
+// in rules_test.go check properties; these pin the precise output shape so
+// an accidental change to a rule's rewrite is caught even when it preserves
+// semantics.
+
+func assertGolden(t *testing.T, got, want xmas.Op) {
+	t.Helper()
+	if !xmas.Equal(got, want) {
+		t.Fatalf("rewritten plan does not match golden plan\ngot:\n%s\nwant:\n%s",
+			xmas.Format(got), xmas.Format(want))
+	}
+}
+
+func TestGoldenViewUnfold(t *testing.T) {
+	// getD over mkSrc(view) collapses into getD over the view body, with the
+	// view's document variable substituted for the mkSrc output (rule 11).
+	viewBody := func(docVar, outVar xmas.Var) xmas.Op {
+		return &xmas.GetD{
+			In:   &xmas.MkSrc{SrcID: "&src", Out: docVar},
+			From: docVar, Path: xmas.ParsePath("customer"), Out: outVar,
+		}
+	}
+	plan := &xmas.TD{
+		In: &xmas.GetD{
+			In:   &xmas.MkSrc{SrcID: "view", In: &xmas.TD{In: viewBody("$d", "$R"), V: "$R", RootID: "rootv"}, Out: "$doc"},
+			From: "$doc", Path: xmas.ParsePath("customer.name"), Out: "$N",
+		},
+		V: "$N",
+	}
+	out, fired := optimizeOnce(t, plan, "view-unfold(11)")
+	if !fired {
+		t.Fatal("view-unfold did not fire")
+	}
+	want := &xmas.TD{
+		In: &xmas.GetD{
+			In:   viewBody("$d", "$R"),
+			From: "$R", Path: xmas.ParsePath("customer.name"), Out: "$N",
+		},
+		V: "$N",
+	}
+	assertGolden(t, out, want)
+}
+
+func TestGoldenEltUnfoldListChild(t *testing.T) {
+	// getD(Rec.item) over crElt with a list-valued child moves the
+	// navigation to the child variable with the virtual "list" step
+	// prepended (rules 1/3).
+	base := &xmas.GetD{
+		In:   &xmas.MkSrc{SrcID: "&src", Out: "$D"},
+		From: "$D", Path: xmas.ParsePath("items"), Out: "$L",
+	}
+	cr := &xmas.CrElt{
+		In: base, Label: "Rec", SkolemFn: "f", GroupVars: []xmas.Var{"$L"},
+		Children: xmas.ChildSpec{V: "$L", Wrap: false}, Out: "$Z",
+	}
+	plan := &xmas.TD{
+		In: &xmas.GetD{In: cr, From: "$Z", Path: xmas.ParsePath("Rec.item"), Out: "$X"},
+		V:  "$X",
+	}
+	out, fired := optimizeOnce(t, plan, "elt-unfold(1)")
+	if !fired {
+		t.Fatal("elt-unfold did not fire")
+	}
+	want := &xmas.TD{
+		In: &xmas.CrElt{
+			In:    &xmas.GetD{In: base, From: "$L", Path: xmas.ParsePath("list.item"), Out: "$X"},
+			Label: "Rec", SkolemFn: "f", GroupVars: []xmas.Var{"$L"},
+			Children: xmas.ChildSpec{V: "$L", Wrap: false}, Out: "$Z",
+		},
+		V: "$X",
+	}
+	assertGolden(t, out, want)
+}
+
+func TestGoldenCatUnfold(t *testing.T) {
+	// getD(list.A.val) over cat redirects to the side whose labels can
+	// match "A" (rule 7); the cat itself stays for later dead-elim.
+	src := &xmas.MkSrc{SrcID: "&src", Out: "$D"}
+	crA := &xmas.CrElt{
+		In: src, Label: "A", SkolemFn: "fa", GroupVars: []xmas.Var{"$D"},
+		Children: xmas.ChildSpec{V: "$D", Wrap: true}, Out: "$a",
+	}
+	crB := &xmas.CrElt{
+		In: crA, Label: "B", SkolemFn: "fb", GroupVars: []xmas.Var{"$D"},
+		Children: xmas.ChildSpec{V: "$D", Wrap: true}, Out: "$b",
+	}
+	cat := &xmas.Cat{
+		In:  crB,
+		X:   xmas.ChildSpec{V: "$a", Wrap: true},
+		Y:   xmas.ChildSpec{V: "$b", Wrap: true},
+		Out: "$W",
+	}
+	plan := &xmas.TD{
+		In: &xmas.GetD{In: cat, From: "$W", Path: xmas.ParsePath("list.A.val"), Out: "$X"},
+		V:  "$X",
+	}
+	out, fired := optimizeOnce(t, plan, "cat-unfold(7)")
+	if !fired {
+		t.Fatal("cat-unfold did not fire")
+	}
+	want := &xmas.TD{
+		In: &xmas.Cat{
+			In:  &xmas.GetD{In: crB, From: "$a", Path: xmas.ParsePath("A.val"), Out: "$X"},
+			X:   xmas.ChildSpec{V: "$a", Wrap: true},
+			Y:   xmas.ChildSpec{V: "$b", Wrap: true},
+			Out: "$W",
+		},
+		V: "$X",
+	}
+	assertGolden(t, out, want)
+}
+
+func TestGoldenApplyUnfold(t *testing.T) {
+	// getD(list.order.val) over apply/gBy introduces a join between a primed
+	// copy of the grouped subplan (with the navigation continued from the
+	// collect variable) and the original apply chain (rule 9).
+	src := &xmas.MkSrc{SrcID: "&src", Out: "$D"}
+	getO := &xmas.GetD{In: src, From: "$D", Path: xmas.ParsePath("order"), Out: "$O"}
+	getK := &xmas.GetD{In: getO, From: "$O", Path: xmas.ParsePath("order.cid"), Out: "$K"}
+	gby := &xmas.GroupBy{In: getK, Keys: []xmas.Var{"$K"}, Out: "$P"}
+	nested := &xmas.TD{In: &xmas.NestedSrc{V: "$P", Vars: []xmas.Var{"$D", "$O", "$K"}}, V: "$O"}
+	apply := &xmas.Apply{In: gby, Plan: nested, InpVar: "$P", Out: "$Z"}
+	plan := &xmas.TD{
+		In: &xmas.GetD{In: apply, From: "$Z", Path: xmas.ParsePath("list.order.val"), Out: "$V"},
+		V:  "$V",
+	}
+	out, fired := optimizeOnce(t, plan, "apply-unfold(9)")
+	if !fired {
+		t.Fatal("apply-unfold did not fire")
+	}
+	// The primed copy renames in pre-order walk of the inlined body:
+	// $K → $K', $O → $O', $D → $D'.
+	srcP := &xmas.MkSrc{SrcID: "&src", Out: "$D'"}
+	getOP := &xmas.GetD{In: srcP, From: "$D'", Path: xmas.ParsePath("order"), Out: "$O'"}
+	getKP := &xmas.GetD{In: getOP, From: "$O'", Path: xmas.ParsePath("order.cid"), Out: "$K'"}
+	cond := xmas.NewVarVarCond("$K'", xtree.OpEQ, "$K")
+	want := &xmas.TD{
+		In: &xmas.Join{
+			L:    &xmas.GetD{In: getKP, From: "$O'", Path: xmas.ParsePath("order.val"), Out: "$V"},
+			R:    apply,
+			Cond: &cond,
+		},
+		V: "$V",
+	}
+	assertGolden(t, out, want)
+}
+
+func TestGoldenSemijoinBelowGroupBy(t *testing.T) {
+	// A semi-join probing on a group key sinks below the gBy on its kept
+	// side, next to the source subplan (rule 12).
+	ordSrc := &xmas.MkSrc{SrcID: "&ord", Out: "$D"}
+	getO := &xmas.GetD{In: ordSrc, From: "$D", Path: xmas.ParsePath("order"), Out: "$O"}
+	getK := &xmas.GetD{In: getO, From: "$O", Path: xmas.ParsePath("order.cid"), Out: "$K"}
+	gby := &xmas.GroupBy{In: getK, Keys: []xmas.Var{"$K"}, Out: "$P"}
+	custSrc := &xmas.MkSrc{SrcID: "&cust", Out: "$C"}
+	getI := &xmas.GetD{In: custSrc, From: "$C", Path: xmas.ParsePath("customer.id"), Out: "$I"}
+	cond := xmas.NewVarVarCond("$K", xtree.OpEQ, "$I")
+	plan := &xmas.TD{
+		In: &xmas.SemiJoin{L: gby, R: getI, Cond: &cond, Keep: xmas.KeepLeft},
+		V:  "$P",
+	}
+	out, fired := optimizeOnce(t, plan, "semijoin-below-gBy(12)")
+	if !fired {
+		t.Fatal("semijoin-below-gBy did not fire")
+	}
+	want := &xmas.TD{
+		In: &xmas.GroupBy{
+			In:   &xmas.SemiJoin{L: getK, R: getI, Cond: &cond, Keep: xmas.KeepLeft},
+			Keys: []xmas.Var{"$K"}, Out: "$P",
+		},
+		V: "$P",
+	}
+	assertGolden(t, out, want)
+}
+
+func TestGoldenSchemaUnsat(t *testing.T) {
+	// With an exhaustive child-label declaration for "customer", navigating
+	// to an undeclared child is statically empty.
+	src := &xmas.MkSrc{SrcID: "&src", Out: "$D"}
+	getC := &xmas.GetD{In: src, From: "$D", Path: xmas.ParsePath("customer"), Out: "$C"}
+	plan := &xmas.TD{
+		In: &xmas.GetD{In: getC, From: "$C", Path: xmas.ParsePath("customer.phone"), Out: "$X"},
+		V:  "$X",
+	}
+	opts := Options{ChildLabels: map[string][]string{"customer": {"id", "name"}}}
+	out, name, fired := applyFirst(plan, ruleSet(opts))
+	if !fired {
+		t.Fatal("schema-unsat did not fire")
+	}
+	if name != "schema-unsat" {
+		t.Fatalf("fired %q, want schema-unsat", name)
+	}
+	want := &xmas.TD{
+		In: &xmas.Empty{Vars: []xmas.Var{"$D", "$C", "$X"}},
+		V:  "$X",
+	}
+	assertGolden(t, out, want)
+}
+
+func TestGoldenSelectPushdown(t *testing.T) {
+	// A selection on $C commutes below the getD that binds $N.
+	src := &xmas.MkSrc{SrcID: "&src", Out: "$D"}
+	getC := &xmas.GetD{In: src, From: "$D", Path: xmas.ParsePath("customer"), Out: "$C"}
+	getN := &xmas.GetD{In: getC, From: "$C", Path: xmas.ParsePath("customer.name"), Out: "$N"}
+	cond := xmas.NewVarConstCond("$C", xtree.OpEQ, "&cust7")
+	plan := &xmas.TD{In: &xmas.Select{In: getN, Cond: cond}, V: "$N"}
+	out, fired := optimizeOnce(t, plan, "select-pushdown")
+	if !fired {
+		t.Fatal("select-pushdown did not fire")
+	}
+	want := &xmas.TD{
+		In: &xmas.GetD{
+			In:   &xmas.Select{In: getC, Cond: cond},
+			From: "$C", Path: xmas.ParsePath("customer.name"), Out: "$N",
+		},
+		V: "$N",
+	}
+	assertGolden(t, out, want)
+}
+
+func TestGoldenGetDPushdownThroughCrElt(t *testing.T) {
+	// A getD starting from a variable the crElt does not define commutes
+	// below the constructor (rules 5-6 generalized).
+	src := &xmas.MkSrc{SrcID: "&src", Out: "$D"}
+	getC := &xmas.GetD{In: src, From: "$D", Path: xmas.ParsePath("customer"), Out: "$C"}
+	cr := &xmas.CrElt{
+		In: getC, Label: "Rec", SkolemFn: "f", GroupVars: []xmas.Var{"$C"},
+		Children: xmas.ChildSpec{V: "$C", Wrap: true}, Out: "$Z",
+	}
+	plan := &xmas.TD{
+		In: &xmas.GetD{In: cr, From: "$C", Path: xmas.ParsePath("customer.name"), Out: "$N"},
+		V:  "$N",
+	}
+	out, fired := optimizeOnce(t, plan, "getD-pushdown(6)")
+	if !fired {
+		t.Fatal("getD-pushdown did not fire")
+	}
+	want := &xmas.TD{
+		In: &xmas.CrElt{
+			In:    &xmas.GetD{In: getC, From: "$C", Path: xmas.ParsePath("customer.name"), Out: "$N"},
+			Label: "Rec", SkolemFn: "f", GroupVars: []xmas.Var{"$C"},
+			Children: xmas.ChildSpec{V: "$C", Wrap: true}, Out: "$Z",
+		},
+		V: "$N",
+	}
+	assertGolden(t, out, want)
+}
+
+func TestGoldenEmptyPropagation(t *testing.T) {
+	// Any operator over an empty input is itself empty (with its schema).
+	cond := xmas.NewVarConstCond("$A", xtree.OpEQ, "x")
+	plan := &xmas.TD{
+		In: &xmas.Select{In: &xmas.Empty{Vars: []xmas.Var{"$A"}}, Cond: cond},
+		V:  "$A",
+	}
+	out, fired := optimizeOnce(t, plan, "empty-prop")
+	if !fired {
+		t.Fatal("empty-prop did not fire")
+	}
+	want := &xmas.TD{In: &xmas.Empty{Vars: []xmas.Var{"$A"}}, V: "$A"}
+	assertGolden(t, out, want)
+}

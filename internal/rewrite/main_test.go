@@ -1,0 +1,17 @@
+package rewrite
+
+import (
+	"os"
+	"testing"
+
+	"mix/internal/xmas"
+)
+
+// The rewrite suite always runs with the debug verification gate on: every
+// rule application in every test re-verifies the plan and checks site-schema
+// preservation, so a rule bug fails loudly here before it can corrupt
+// answers elsewhere.
+func TestMain(m *testing.M) {
+	xmas.SetDebug(true)
+	os.Exit(m.Run())
+}

@@ -37,3 +37,27 @@ func Check(t testing.TB) func() {
 		t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
 	}
 }
+
+// NoHandles asserts that a live-handle counter (such as the wire server's
+// LiveHandles) drains to zero — the proof that every session wound down and
+// released its node-handle table. Like Check it polls briefly: handle
+// release rides on connection teardown, which can lag the client's Close by
+// a scheduler beat. Use at test end, after closing the client:
+//
+//	defer func() { testleak.NoHandles(t, "server node handles", srv.LiveHandles) }()
+func NoHandles(t testing.TB, what string, count func() int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	var n int
+	for {
+		n = count()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("handle leak: %d %s still live at test end", n, what)
+}

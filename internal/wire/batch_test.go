@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mix"
+	"mix/internal/testleak"
 	"mix/internal/wire"
 )
 
@@ -50,7 +51,10 @@ func dialFlat(tb testing.TB, med *mix.Mediator, srvTweak func(*wire.Server), cfg
 		_ = srv.ServeConn(server)
 	}()
 	c := wire.NewClientConfig(client, cfg)
-	tb.Cleanup(func() { _ = c.Close() })
+	tb.Cleanup(func() {
+		_ = c.Close()
+		testleak.NoHandles(tb, "server node handles", srv.LiveHandles)
+	})
 	return c
 }
 

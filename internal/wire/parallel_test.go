@@ -28,7 +28,10 @@ func dialFlatFault(tb testing.TB, med *mix.Mediator, cfg wire.ClientConfig, faul
 		_ = srv.ServeConn(server)
 	}()
 	c := wire.NewClientConfig(faultnet.Wrap(client, faults), cfg)
-	tb.Cleanup(func() { _ = c.Close() })
+	tb.Cleanup(func() {
+		_ = c.Close()
+		testleak.NoHandles(tb, "server node handles", srv.LiveHandles)
+	})
 	return c
 }
 

@@ -45,6 +45,38 @@ type Server struct {
 	// ErrorLog, when set, receives per-connection failures (malformed
 	// framing, I/O errors) that Serve would otherwise swallow.
 	ErrorLog func(error)
+
+	sessMu   sync.Mutex
+	sessions map[*session]struct{}
+}
+
+// track registers a live session and returns its deregistration func.
+func (s *Server) track(sess *session) func() {
+	s.sessMu.Lock()
+	if s.sessions == nil {
+		s.sessions = map[*session]struct{}{}
+	}
+	s.sessions[sess] = struct{}{}
+	s.sessMu.Unlock()
+	return func() {
+		s.sessMu.Lock()
+		delete(s.sessions, sess)
+		s.sessMu.Unlock()
+	}
+}
+
+// LiveHandles reports the node handles currently held across all active
+// sessions. A well-behaved client releases every handle it was shipped, so
+// tests assert this drains to zero (testleak.NoHandles) once their clients
+// close.
+func (s *Server) LiveHandles() int {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	n := 0
+	for sess := range s.sessions {
+		n += sess.handleCount()
+	}
+	return n
 }
 
 // NewServer wraps a mediator.
@@ -107,6 +139,7 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 		maxBatch:   s.maxBatch(),
 		maxFrame:   s.maxFrame(),
 	}
+	defer s.track(sess)()
 	in := bufio.NewReaderSize(conn, frameBufSize)
 	out := bufio.NewWriter(conn)
 	enc := json.NewEncoder(out)
@@ -341,6 +374,40 @@ func frameSize(f NodeFrame) int {
 	return frameOverhead + len(f.Label) + len(f.NodeID) + len(f.Value) + len(f.XML)
 }
 
+// frameAppender accumulates a Response's Frames under the session's
+// frame-count cap and byte budget. It is the only place in the package
+// allowed to grow Frames — mixvet's framebudget analyzer flags any raw
+// append or assignment elsewhere, so every batch-cutting path provably
+// respects MaxFrame/MaxBatch.
+type frameAppender struct {
+	resp   *Response
+	max    int // frame-count cap for this batch
+	budget int // byte budget across frame payloads
+	used   int
+}
+
+func newFrameAppender(resp *Response, max, maxFrame int) *frameAppender {
+	// Leave headroom for the response's own JSON envelope.
+	return &frameAppender{resp: resp, max: max, budget: maxFrame - maxFrame/8}
+}
+
+// full reports whether the batch reached its frame-count cap.
+func (fa *frameAppender) full() bool { return len(fa.resp.Frames) >= fa.max }
+
+// fits reports whether f fits the remaining byte budget. The first frame
+// always fits: a batch that cannot ship even one frame is a protocol
+// failure handled by the caller, not a budget cut.
+func (fa *frameAppender) fits(f NodeFrame) bool {
+	return len(fa.resp.Frames) == 0 || fa.used+frameSize(f) <= fa.budget
+}
+
+// add appends f, charging its size against the budget. Callers must check
+// fits first; add itself never cuts.
+func (fa *frameAppender) add(f NodeFrame) {
+	fa.used += frameSize(f)
+	fa.resp.Frames = append(fa.resp.Frames, f)
+}
+
 // batchResp cuts one children/scan batch from next. Frames accumulate until
 // the client's Max, the server's MaxBatch, the frame-size budget, or the
 // handle table ends the batch. A budget or handle-table cut ships a partial
@@ -358,9 +425,8 @@ func (s *session) batchResp(req Request, next func() *mix.Node) Response {
 	if max > s.maxBatch {
 		max = s.maxBatch
 	}
-	budget := s.maxFrame - s.maxFrame/8 // headroom for the response envelope
-	used := 0
-	for len(resp.Frames) < max {
+	fa := newFrameAppender(&resp, max, s.maxFrame)
+	for !fa.full() {
 		n := next()
 		if n == nil {
 			return resp // exhausted: More stays false
@@ -372,12 +438,10 @@ func (s *session) batchResp(req Request, next func() *mix.Node) Response {
 		if req.Deep {
 			f.XML = xmlio.SerializeIndent(n.Materialize())
 		}
-		sz := frameSize(f)
-		if len(resp.Frames) > 0 && used+sz > budget {
+		if !fa.fits(f) {
 			resp.More = true
 			return resp
 		}
-		used += sz
 		h, _, err := s.put(n)
 		if err != nil {
 			if len(resp.Frames) > 0 {
@@ -387,7 +451,7 @@ func (s *session) batchResp(req Request, next func() *mix.Node) Response {
 			return Response{ID: req.ID, OK: false, Error: err.Error()}
 		}
 		f.Handle = h
-		resp.Frames = append(resp.Frames, f)
+		fa.add(f)
 	}
 	resp.More = next() != nil
 	return resp

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mix"
+	"mix/internal/testleak"
 	"mix/internal/wire"
 	"mix/internal/workload"
 )
@@ -31,7 +32,10 @@ func startPair(t *testing.T) (*wire.Client, *mix.Mediator) {
 		_ = srv.ServeConn(server)
 	}()
 	c := wire.NewClient(client)
-	t.Cleanup(func() { c.Close() })
+	t.Cleanup(func() {
+		c.Close()
+		testleak.NoHandles(t, "server node handles", srv.LiveHandles)
+	})
 	return c, med
 }
 

@@ -1,0 +1,58 @@
+package workload_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mix/internal/workload"
+	"mix/internal/xmas"
+)
+
+// TestPlanFromSeedTotal: every byte string decodes to a plan that at least
+// validates; the deliberate corruption may make Verify reject it, but only
+// ever with a typed *xmas.VerifyError.
+func TestPlanFromSeedTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		data := make([]byte, rng.Intn(24))
+		rng.Read(data)
+		plan := workload.PlanFromSeed(data)
+		if err := xmas.Validate(plan); err != nil {
+			t.Fatalf("seed %v decoded to an invalid plan: %v\n%s", data, err, xmas.Format(plan))
+		}
+		if err := xmas.Verify(plan); err != nil {
+			var verr *xmas.VerifyError
+			if !errors.As(err, &verr) {
+				t.Fatalf("seed %v: Verify error is not a *xmas.VerifyError: %v", data, err)
+			}
+		}
+	}
+}
+
+// TestCorruptedGroupSeed pins the regression seed: a grouped plan whose
+// nested plan collects an unbound variable. Validate accepts it; Verify
+// must reject it with the nested-schema rule.
+func TestCorruptedGroupSeed(t *testing.T) {
+	plan := workload.PlanFromSeed(workload.CorruptedGroupSeed)
+	if err := xmas.Validate(plan); err != nil {
+		t.Fatalf("corrupted seed should still pass Validate (that is the point): %v", err)
+	}
+	err := xmas.Verify(plan)
+	var verr *xmas.VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("Verify = %v, want *xmas.VerifyError", err)
+	}
+	if verr.Rule != "nested-schema" {
+		t.Fatalf("VerifyError.Rule = %q, want nested-schema", verr.Rule)
+	}
+}
+
+// TestRandomPlanDeterministic: the same rng seed yields the same plan.
+func TestRandomPlanDeterministic(t *testing.T) {
+	a := workload.RandomPlan(rand.New(rand.NewSource(7)))
+	b := workload.RandomPlan(rand.New(rand.NewSource(7)))
+	if !xmas.Equal(a, b) {
+		t.Fatalf("same seed, different plans:\n%s\nvs\n%s", xmas.Format(a), xmas.Format(b))
+	}
+}

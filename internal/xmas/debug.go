@@ -1,0 +1,25 @@
+package xmas
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// debugMode turns on the expensive per-step verification gates in the
+// rewriter and composer: plans are re-verified before and after every rule
+// application and composition. The flag lives here (not in rewrite) so both
+// packages consult one switch without an import cycle. It defaults on when
+// MIXDEBUG is set in the environment; test suites turn it on explicitly.
+var debugMode atomic.Bool
+
+func init() {
+	if os.Getenv("MIXDEBUG") != "" {
+		debugMode.Store(true)
+	}
+}
+
+// SetDebug toggles debug-mode verification gates. Safe for concurrent use.
+func SetDebug(on bool) { debugMode.Store(on) }
+
+// DebugEnabled reports whether the verification gates are on.
+func DebugEnabled() bool { return debugMode.Load() }

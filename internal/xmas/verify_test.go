@@ -1,0 +1,96 @@
+package xmas_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mix/internal/xmas"
+	"mix/internal/xtree"
+)
+
+// groupedApply builds the canonical apply-over-gBy shape:
+//
+//	apply_{tD_collect(nSrc($P, nsVars)), $P → $Z}(gBy_{[$K] → $P}(getD))
+//
+// with the partition schema {$K, $C} (the gBy input's schema).
+func groupedApply(nsVars []xmas.Var, collect xmas.Var) *xmas.Apply {
+	src := &xmas.MkSrc{SrcID: "&doc", Out: "$D"}
+	getK := &xmas.GetD{In: src, From: "$D", Path: []string{"k"}, Out: "$K"}
+	getC := &xmas.GetD{In: getK, From: "$D", Path: []string{"c"}, Out: "$C"}
+	gby := &xmas.GroupBy{In: getC, Keys: []xmas.Var{"$K"}, Out: "$P"}
+	nested := &xmas.TD{In: &xmas.NestedSrc{V: "$P", Vars: nsVars}, V: collect}
+	return &xmas.Apply{In: gby, Plan: nested, InpVar: "$P", Out: "$Z"}
+}
+
+func TestVerifyAcceptsWellFormedPlan(t *testing.T) {
+	plan := groupedApply([]xmas.Var{"$K", "$C"}, "$C")
+	if err := xmas.Verify(plan); err != nil {
+		t.Fatalf("Verify rejected a well-formed plan: %v", err)
+	}
+}
+
+func TestVerifyRejectsUnboundNestedVar(t *testing.T) {
+	// The nSrc declares $MISSING, which the partition schema {$K, $C} does
+	// not bind, and the nested plan collects it — internally consistent, so
+	// Validate accepts the plan; executing it panics inside Tuple.MustGet.
+	// Verify must reject it with a typed error instead.
+	plan := groupedApply([]xmas.Var{"$K", "$MISSING"}, "$MISSING")
+	if err := xmas.Validate(plan); err != nil {
+		t.Fatalf("precondition: Validate should accept the plan (the hole Verify closes), got %v", err)
+	}
+	err := xmas.Verify(plan)
+	var verr *xmas.VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("Verify = %v, want *VerifyError", err)
+	}
+	if verr.Rule != "nested-schema" {
+		t.Fatalf("Rule = %q, want nested-schema", verr.Rule)
+	}
+	if !strings.Contains(verr.Msg, "$MISSING") {
+		t.Fatalf("message %q does not name the unbound variable", verr.Msg)
+	}
+}
+
+func TestVerifyRejectsUseBeforeBind(t *testing.T) {
+	// getD reads $X, which nothing below it binds.
+	src := &xmas.MkSrc{SrcID: "&doc", Out: "$D"}
+	bad := &xmas.GetD{In: src, From: "$X", Path: []string{"a"}, Out: "$A"}
+	err := xmas.Verify(&xmas.TD{In: bad, V: "$A"})
+	var verr *xmas.VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("Verify = %v, want *VerifyError", err)
+	}
+	if verr.Rule != "well-formed" {
+		t.Fatalf("Rule = %q, want well-formed", verr.Rule)
+	}
+}
+
+func TestLintFlagsContradictorySelects(t *testing.T) {
+	src := &xmas.MkSrc{SrcID: "&doc", Out: "$D"}
+	getA := &xmas.GetD{In: src, From: "$D", Path: []string{"a"}, Out: "$A"}
+	inner := &xmas.Select{In: getA, Cond: xmas.NewVarConstCond("$A", xtree.OpEQ, "x")}
+	outer := &xmas.Select{In: inner, Cond: xmas.NewVarConstCond("$A", xtree.OpEQ, "y")}
+	plan := &xmas.TD{In: outer, V: "$A"}
+	if err := xmas.Verify(plan); err != nil {
+		t.Fatalf("Verify must accept an unsatisfiable-but-well-formed plan, got %v", err)
+	}
+	finds := xmas.Lint(plan)
+	if len(finds) != 1 {
+		t.Fatalf("Lint found %d issues, want 1: %v", len(finds), finds)
+	}
+	if finds[0].Rule != "unsat-cond" {
+		t.Fatalf("Rule = %q, want unsat-cond", finds[0].Rule)
+	}
+}
+
+func TestLintFlagsConstantFalseCondition(t *testing.T) {
+	src := &xmas.MkSrc{SrcID: "&doc", Out: "$D"}
+	sel := &xmas.Select{In: src, Cond: xmas.Cond{
+		Left: xmas.ConstOperand("1"), Op: xtree.OpEQ, Right: xmas.ConstOperand("2"),
+	}}
+	finds := xmas.Lint(&xmas.TD{In: sel, V: "$D"})
+	if len(finds) != 1 || finds[0].Rule != "unsat-cond" {
+		t.Fatalf("Lint = %v, want one unsat-cond finding", finds)
+	}
+}

@@ -385,7 +385,8 @@ func TestQueryErrors(t *testing.T) {
 			t.Errorf("Query(%q) succeeded, want error", src)
 		}
 	}
-	if _, err := med.Open("nosuchview"); err == nil {
+	if doc, err := med.Open("nosuchview"); err == nil {
+		doc.Close()
 		t.Error("Open of unknown view must fail")
 	}
 	if _, err := med.DefineView("bad", `FOR $C IN`); err == nil {

@@ -1,13 +1,16 @@
 package mix_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"mix"
+	"mix/internal/engine"
 	"mix/internal/workload"
+	"mix/internal/xmas"
 	"mix/internal/xtree"
 )
 
@@ -168,5 +171,56 @@ RETURN
 			t.Fatalf("session %d diverged from %s\nquery:\n%s\ndecon:\n%s\noracle:\n%s",
 				s, node.Label(), q, gotTree.Pretty(), want.Materialize().Pretty())
 		}
+	}
+}
+
+// FuzzPlanCompile decodes arbitrary byte strings into XMAS plans and
+// compiles and runs them against the paper database. The contract under
+// test: compilation either succeeds (and the plan runs to completion) or
+// fails with a typed *xmas.VerifyError — never a panic. The corpus includes
+// workload.CorruptedGroupSeed, the grouped-plan shape whose unbound nested
+// variable used to panic inside the engine's tuple accessors before the
+// static verifier gated compilation.
+func FuzzPlanCompile(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 1, 0, 1, 1, 2, 0, 1})
+	f.Add([]byte{2, 1, 2, 1, 0, 0, 1, 0, 0, 2, 1, 1})
+	f.Add([]byte{4, 0, 0, 0, 1, 0, 0, 2, 1, 1})
+	f.Add(workload.CorruptedGroupSeed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan := workload.PlanFromSeed(data)
+		cat, _ := workload.PaperCatalog()
+		prog, err := engine.Compile(plan, cat)
+		if err != nil {
+			var verr *xmas.VerifyError
+			if !errors.As(err, &verr) {
+				t.Fatalf("compile error is not a *xmas.VerifyError: %v\nseed %v\nplan:\n%s",
+					err, data, xmas.Format(plan))
+			}
+			return
+		}
+		res := prog.Run()
+		res.Materialize()
+		if err := res.Err(); err != nil {
+			t.Fatalf("run failed on a verified plan: %v\nseed %v\nplan:\n%s",
+				err, data, xmas.Format(plan))
+		}
+	})
+}
+
+// TestCorruptedSeedCompile pins the regression deterministically (the fuzz
+// corpus also carries it): the previously-panicking unbound-variable plan
+// is now rejected at compile time with the nested-schema verifier rule.
+func TestCorruptedSeedCompile(t *testing.T) {
+	plan := workload.PlanFromSeed(workload.CorruptedGroupSeed)
+	cat, _ := workload.PaperCatalog()
+	_, err := engine.Compile(plan, cat)
+	var verr *xmas.VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("Compile = %v, want *xmas.VerifyError", err)
+	}
+	if verr.Rule != "nested-schema" {
+		t.Fatalf("VerifyError.Rule = %q, want nested-schema", verr.Rule)
 	}
 }

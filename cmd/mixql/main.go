@@ -31,10 +31,12 @@ func main() {
 		metrics = flag.Bool("metrics", false, "print per-operator mediator work")
 		plan    = flag.Bool("plan", false, "print the plans instead of running the query")
 		trace   = flag.Bool("trace", false, "print every rewrite step (the paper's Figures 14-21, live)")
+		planCC  = flag.Int("plan-cache", 0, "memoized plans per pipeline stage (0 = plan caching off)")
+		srcCC   = flag.Int("source-cache", 0, "memoized relational result sets (0 = result caching off)")
 	)
 	flag.Parse()
 
-	med := mix.New()
+	med := mix.NewWith(mix.Config{PlanCache: *planCC, SourceCache: *srcCC})
 	switch *data {
 	case "paper":
 		med.AddRelationalSource(workload.PaperDB())
@@ -106,6 +108,12 @@ func main() {
 		s := med.Stats()
 		fmt.Fprintf(os.Stderr, "-- %d queries to sources, %d tuples shipped\n",
 			s.QueriesReceived, s.TuplesShipped)
+		if *planCC > 0 || *srcCC > 0 {
+			cs := med.CacheStats()
+			fmt.Fprintf(os.Stderr, "-- caches: rewrite %d/%d, compile %d/%d, source %d/%d (hits/misses)\n",
+				cs.Rewrite.Hits, cs.Rewrite.Misses, cs.Compile.Hits, cs.Compile.Misses,
+				cs.Source.Hits, cs.Source.Misses)
+		}
 	}
 	if *metrics {
 		fmt.Fprintf(os.Stderr, "-- mediator work: %s\n", m)

@@ -28,10 +28,17 @@ func main() {
 		maxBatch    = flag.Int("max-batch", wire.DefaultMaxBatch, "per-response frame cap for batched children/scan ops")
 		parallelism = flag.Int("parallelism", 1, "goroutines per query execution (1 = strictly sequential evaluation)")
 		exchangeBuf = flag.Int("exchange-buffer", 0, "exchange operator tuple buffer (0 = engine default)")
+		planCache   = flag.Int("plan-cache", 0, "memoized plans per pipeline stage (0 = plan caching off)")
+		srcCache    = flag.Int("source-cache", 0, "memoized relational result sets (0 = result caching off)")
 	)
 	flag.Parse()
 
-	med := mix.NewWith(mix.Config{Parallelism: *parallelism, ExchangeBuffer: *exchangeBuf})
+	med := mix.NewWith(mix.Config{
+		Parallelism:    *parallelism,
+		ExchangeBuffer: *exchangeBuf,
+		PlanCache:      *planCache,
+		SourceCache:    *srcCache,
+	})
 	med.AddRelationalSource(workload.ScaleDB("db1", *n, 5, 42))
 	fail(med.AliasSource("&root1", "&db1.customer"))
 	fail(med.AliasSource("&root2", "&db1.orders"))

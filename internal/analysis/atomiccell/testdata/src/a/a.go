@@ -36,3 +36,23 @@ func (m *Metrics) copyCell() atomic.Int64 {
 func (m *Metrics) plainFieldOK() string {
 	return m.name
 }
+
+// CacheCounters mirrors the hit/miss/eviction cells of the caching layers
+// (cache.LRU, wire's nodeCache): method-style atomic cells read only through
+// Load and bumped only through Add comply; a plain read of the cell races.
+type CacheCounters struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+func (c *CacheCounters) hit()  { c.hits.Add(1) }
+func (c *CacheCounters) miss() { c.misses.Add(1) }
+
+func (c *CacheCounters) snapshot() (int64, int64, int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}
+
+func (c *CacheCounters) copyHits() atomic.Int64 {
+	return c.hits // want "atomic cell hits copied or read non-atomically"
+}

@@ -38,6 +38,7 @@ var openNames = map[string]bool{
 	"OpenBatch": true,
 	"OpenAsync": true,
 	"Compile":   true,
+	"ExecRel":   true, // Catalog.ExecRel: result-cache-routed SQL cursors
 	"Run":       false, // Results are closed by navigation contract, not tracked
 }
 

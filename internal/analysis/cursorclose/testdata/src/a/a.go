@@ -78,3 +78,41 @@ func closedOnBothBranches(d *Doc, deep bool) {
 	}
 	cur.Close()
 }
+
+// ExecRel sites (the catalog's result-cache-routed SQL entry point) are
+// tracked like Open: a replay or fill cursor left unclosed leaks its
+// buffered rows and, on the miss path, the underlying store cursor.
+type Catalog struct{}
+
+func (c *Catalog) ExecRel(db, sql string) (*Cursor, error) { return &Cursor{}, nil }
+
+func execRelNeverClosed(c *Catalog) {
+	cur, err := c.ExecRel("db", "SELECT") // want "cur returned by ExecRel is never closed"
+	if err != nil {
+		return
+	}
+	cur.Next()
+}
+
+func execRelLeakOnEarlyReturn(c *Catalog) error {
+	cur, err := c.ExecRel("db", "SELECT")
+	if err != nil {
+		return err // fine: cur is invalid on the creation's error path
+	}
+	if err := check(); err != nil {
+		return err // want "cur returned by ExecRel is not closed on this return path"
+	}
+	defer cur.Close()
+	cur.Next()
+	return nil
+}
+
+func execRelClosedProperly(c *Catalog) error {
+	cur, err := c.ExecRel("db", "SELECT")
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	cur.Next()
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package cache provides the bounded LRU map shared by the mediator's
+// caching layers: the rewrite/plan caches (internal/rewrite,
+// internal/engine), the source result cache (internal/source) and the wire
+// client's navigation node cache (internal/wire). Each layer owns its keys
+// and invalidation protocol; this package only supplies the eviction policy
+// and the hit/miss/eviction counters every layer reports.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a snapshot of one cache's counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// LRU is a fixed-capacity least-recently-used map, safe for concurrent use.
+// Capacity counts entries; sizing by payload weight is the caller's business
+// (the node cache caches one frame per entry, the result cache one result
+// set per entry).
+type LRU[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[K]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU creates a cache holding at most capacity entries. A capacity below
+// one yields a cache that stores nothing (every Get misses) — the disabled
+// state callers reach with a zero config knob.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	return &LRU[K, V]{
+		cap:   capacity,
+		order: list.New(),
+		items: map[K]*list.Element{},
+	}
+}
+
+// Get returns the cached value and promotes the entry.
+func (l *LRU[K, V]) Get(key K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		l.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	l.hits.Add(1)
+	l.order.MoveToFront(el)
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Put inserts or updates an entry, evicting from the cold end over capacity.
+func (l *LRU[K, V]) Put(key K, val V) {
+	if l.cap < 1 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		l.order.MoveToFront(el)
+		return
+	}
+	l.items[key] = l.order.PushFront(&entry[K, V]{key: key, val: val})
+	for len(l.items) > l.cap {
+		cold := l.order.Back()
+		if cold == nil {
+			break
+		}
+		l.order.Remove(cold)
+		delete(l.items, cold.Value.(*entry[K, V]).key)
+		l.evictions.Add(1)
+	}
+}
+
+// Peek returns the cached value without promoting the entry or counting a
+// hit/miss (completeness probes that should not skew the counters).
+func (l *LRU[K, V]) Peek(key K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Purge drops every entry. Purged entries do not count as evictions — the
+// caller invalidated them, capacity pressure did not.
+func (l *LRU[K, V]) Purge() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.order.Init()
+	l.items = map[K]*list.Element{}
+}
+
+// Len reports the live entry count.
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.items)
+}
+
+// Stats snapshots the counters.
+func (l *LRU[K, V]) Stats() Stats {
+	l.mu.Lock()
+	entries := len(l.items)
+	l.mu.Unlock()
+	return Stats{
+		Hits:      l.hits.Load(),
+		Misses:    l.misses.Load(),
+		Evictions: l.evictions.Load(),
+		Entries:   entries,
+	}
+}

@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU[string, int](2)
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	l.Put("a", 1)
+	l.Put("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	// "a" was just promoted, so inserting "c" must evict "b".
+	l.Put("c", 3)
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order broken")
+	}
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("a evicted instead of b: %d, %v", v, ok)
+	}
+	st := l.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("Evictions = %d; want 1", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("Entries = %d; want 2", st.Entries)
+	}
+	// Hits: a (x2). Misses: a (initial), b.
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("Hits/Misses = %d/%d; want 2/2", st.Hits, st.Misses)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	l := NewLRU[string, int](2)
+	l.Put("a", 1)
+	l.Put("a", 9)
+	if v, _ := l.Get("a"); v != 9 {
+		t.Fatalf("update lost: got %d", v)
+	}
+	if st := l.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("update created an entry or evicted: %+v", st)
+	}
+}
+
+func TestLRUPeekDoesNotPromoteOrCount(t *testing.T) {
+	l := NewLRU[string, int](2)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	if v, ok := l.Peek("a"); !ok || v != 1 {
+		t.Fatalf("Peek(a) = %d, %v", v, ok)
+	}
+	// Peek must not have promoted "a": inserting "c" evicts it.
+	l.Put("c", 3)
+	if _, ok := l.Peek("a"); ok {
+		t.Fatal("Peek promoted a")
+	}
+	if st := l.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek counted: %+v", st)
+	}
+}
+
+func TestLRUPurge(t *testing.T) {
+	l := NewLRU[string, int](4)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	l.Purge()
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("a survived Purge")
+	}
+	st := l.Stats()
+	if st.Entries != 0 {
+		t.Fatalf("Entries = %d after Purge", st.Entries)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("Purge counted as evictions: %d", st.Evictions)
+	}
+}
+
+func TestLRUZeroCapacityStoresNothing(t *testing.T) {
+	l := NewLRU[string, int](0)
+	l.Put("a", 1)
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	l := NewLRU[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*31 + i) % 100
+				if v, ok := l.Get(k); ok && v != k {
+					panic(fmt.Sprintf("key %d holds %d", k, v))
+				}
+				l.Put(k, k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := l.Stats(); st.Entries > 64 {
+		t.Fatalf("capacity exceeded: %d entries", st.Entries)
+	}
+}

@@ -8,7 +8,6 @@ import (
 
 	"mix/internal/relstore"
 	"mix/internal/source"
-	"mix/internal/sqlexec"
 	"mix/internal/wrapper"
 	"mix/internal/xmas"
 	"mix/internal/xtree"
@@ -264,9 +263,16 @@ func compileRelQuery(o *xmas.RelQuery, cat *source.Catalog) (compiledOp, error) 
 	sql := o.SQL
 	return func(*Ctx) Cursor {
 		var cur relstore.Cursor
+		done := false
 		return cursorFunc(func() (Tuple, bool, error) {
+			if done {
+				return Tuple{}, false, nil
+			}
 			if cur == nil {
-				c, _, err := sqlexec.ExecSQL(db, sql)
+				// ExecRel routes through the catalog's result cache when one
+				// is enabled: a repeated pushed-down query against an
+				// unchanged store replays from mediator memory.
+				c, err := cat.ExecRel(db, sql)
 				if err != nil {
 					return Tuple{}, false, fmt.Errorf("engine: rQ(%s): %w", o.Server, err)
 				}
@@ -274,6 +280,8 @@ func compileRelQuery(o *xmas.RelQuery, cat *source.Catalog) (compiledOp, error) 
 			}
 			row, ok := cur.Next()
 			if !ok {
+				done = true
+				cur.Close()
 				return Tuple{}, false, nil
 			}
 			vals := make([]Value, len(maps))

@@ -1,0 +1,111 @@
+package engine_test
+
+import (
+	"testing"
+
+	"mix/internal/engine"
+	"mix/internal/translate"
+	"mix/internal/workload"
+	"mix/internal/xmas"
+	"mix/internal/xmlio"
+	"mix/internal/xquery"
+)
+
+const planCacheQuery = `FOR $C IN document(&db1.customer)/customer RETURN $C`
+
+func planFor(t *testing.T, rootName string) xmas.Op {
+	t.Helper()
+	q := xquery.MustParse(planCacheQuery)
+	tr, err := translate.Translate(q, rootName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Plan
+}
+
+func runProgram(t *testing.T, p *engine.Program) string {
+	t.Helper()
+	res := p.Run()
+	m := res.Materialize()
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return xmlio.Serialize(m)
+}
+
+// TestPlanCacheHitIsAnswerIdentical: two compiles of the same query shape,
+// differing only in the mediator-generated result root id, share one cache
+// entry, and the cached program's answers — including the served root id —
+// are byte-identical to an uncached compile's.
+func TestPlanCacheHitIsAnswerIdentical(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	pc := engine.NewPlanCache(8)
+
+	p1, err := pc.CompileWith(planFor(t, "result1"), cat, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pc.CompileWith(planFor(t, "result2"), cat, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := pc.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("Hits/Misses = %d/%d; want 1/1", st.Hits, st.Misses)
+	}
+	uncached, err := engine.CompileWith(planFor(t, "result2"), cat, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := runProgram(t, p2), runProgram(t, uncached); got != want {
+		t.Fatalf("cached answer diverged\ncached:\n%s\nuncached:\n%s", got, want)
+	}
+	// The rebound program serves its own root id, not the first caller's.
+	id1, id2 := p1.Run().Root.ID, p2.Run().Root.ID
+	if id1 == id2 {
+		t.Fatalf("cached program leaked the original root id %q", id1)
+	}
+	if id2 != "&result2" {
+		t.Fatalf("root id = %q; want &result2", id2)
+	}
+}
+
+// TestPlanCacheKeysOnOptionsAndCatalogStructure: different execution options
+// compile separately, and registering a new source invalidates prior entries
+// (compile resolves sources eagerly).
+func TestPlanCacheKeysOnOptionsAndCatalogStructure(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	pc := engine.NewPlanCache(8)
+
+	if _, err := pc.CompileWith(planFor(t, "r"), cat, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.CompileWith(planFor(t, "r"), cat, engine.Options{Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if st := pc.Stats(); st.Misses != 2 {
+		t.Fatalf("options shared an entry: %+v", st)
+	}
+
+	if err := cat.Alias("&elsewhere", "&db1.customer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.CompileWith(planFor(t, "r"), cat, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := pc.Stats(); st.Misses != 3 {
+		t.Fatalf("catalog registration did not invalidate: %+v", st)
+	}
+}
+
+// TestPlanCacheNilPassThrough: a nil cache compiles directly.
+func TestPlanCacheNilPassThrough(t *testing.T) {
+	cat, _ := workload.PaperCatalog()
+	var pc *engine.PlanCache
+	p, err := pc.CompileWith(planFor(t, "r"), cat, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Fatal("nil cache returned nil program")
+	}
+}

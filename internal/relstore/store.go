@@ -38,7 +38,9 @@ type Table struct {
 }
 
 // DB is one relational server: a named set of tables plus transfer counters.
-// It is safe for concurrent readers once loaded.
+// It is safe for concurrent readers once loaded; mutations (Create, Insert)
+// may also run concurrently with readers, who must take row snapshots
+// through RowsSnapshot instead of touching Table.Rows directly.
 type DB struct {
 	Name string
 
@@ -47,6 +49,12 @@ type DB struct {
 
 	tuplesShipped   atomic.Int64
 	queriesReceived atomic.Int64
+
+	// version counts mutations (Create, Insert). The source result cache
+	// folds it into its keys, so any mutation makes every cached result for
+	// this server unreachable — O(1) invalidation with no sweep; stale
+	// entries age out of the LRU.
+	version atomic.Int64
 }
 
 // NewDB creates an empty server.
@@ -72,6 +80,7 @@ func (db *DB) Create(s Schema) (*Table, error) {
 	}
 	t := &Table{Schema: s}
 	db.tables[s.Relation] = t
+	db.version.Add(1)
 	return t, nil
 }
 
@@ -103,6 +112,7 @@ func (db *DB) Insert(relation string, row []Datum) error {
 		}
 	}
 	t.Rows = append(t.Rows, row)
+	db.version.Add(1)
 	return nil
 }
 
@@ -120,6 +130,26 @@ func (db *DB) Table(relation string) (*Table, bool) {
 	t, ok := db.tables[relation]
 	return t, ok
 }
+
+// RowsSnapshot returns the relation's current rows under the store lock.
+// Insert only ever appends (rows are never edited in place), so the
+// returned slice header is a stable snapshot that concurrent mutations
+// cannot reach — readers that scan while producer goroutines insert must
+// use it instead of Table.Rows.
+func (db *DB) RowsSnapshot(relation string) ([][]Datum, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[relation]
+	if !ok {
+		return nil, false
+	}
+	return t.Rows, true
+}
+
+// Version reports the mutation counter: it increases on every Create and
+// Insert. Cache keys embed it so cached results are valid exactly for the
+// store state they were computed against.
+func (db *DB) Version() int64 { return db.version.Load() }
 
 // Relations lists the relation names, sorted.
 func (db *DB) Relations() []string {

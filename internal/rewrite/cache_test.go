@@ -1,0 +1,87 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"mix/internal/rewrite"
+	"mix/internal/translate"
+	"mix/internal/xmas"
+	"mix/internal/xquery"
+)
+
+const rwCacheQuery = `FOR $C IN document(&db1.customer)/customer RETURN $C`
+
+func rwPlanFor(t *testing.T, rootName string) xmas.Op {
+	t.Helper()
+	q := xquery.MustParse(rwCacheQuery)
+	tr, err := translate.Translate(q, rootName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Plan
+}
+
+// TestRewriteCacheSharesAcrossRootIDs: plans differing only in the
+// mediator's generated result root id share one entry, and a hit rebinds
+// the requester's id so the optimized plan is exactly what an uncached
+// rewrite would have produced.
+func TestRewriteCacheSharesAcrossRootIDs(t *testing.T) {
+	c := rewrite.NewCache(8)
+	opt1, _, err := c.Optimize(rwPlanFor(t, "result1"), rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt2, _, err := c.Optimize(rwPlanFor(t, "result2"), rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("Hits/Misses = %d/%d; want 1/1", st.Hits, st.Misses)
+	}
+	want, _, err := rewrite.Optimize(rwPlanFor(t, "result2"), rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xmas.Format(opt2); got != xmas.Format(want) {
+		t.Fatalf("cached plan diverged\ncached:\n%s\nuncached:\n%s", got, xmas.Format(want))
+	}
+	if xmas.Format(opt1) == xmas.Format(opt2) {
+		t.Fatal("cached plan leaked the original root id")
+	}
+}
+
+// TestRewriteCacheKeysOnOptions: the options fingerprint separates entries,
+// including ChildLabels content (not just presence).
+func TestRewriteCacheKeysOnOptions(t *testing.T) {
+	c := rewrite.NewCache(8)
+	mustOpt := func(opts rewrite.Options) {
+		t.Helper()
+		if _, _, err := c.Optimize(rwPlanFor(t, "r"), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOpt(rewrite.Options{})
+	mustOpt(rewrite.Options{NoPushdown: true})
+	mustOpt(rewrite.Options{ChildLabels: map[string][]string{"customer": {"name"}}})
+	mustOpt(rewrite.Options{ChildLabels: map[string][]string{"customer": {"name", "addr"}}})
+	if st := c.Stats(); st.Misses != 4 || st.Hits != 0 {
+		t.Fatalf("option variants shared entries: %+v", st)
+	}
+	mustOpt(rewrite.Options{ChildLabels: map[string][]string{"customer": {"name"}}})
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("identical ChildLabels missed: %+v", st)
+	}
+}
+
+// TestRewriteCacheNilPassThrough: a nil cache rewrites directly and still
+// returns the trace.
+func TestRewriteCacheNilPassThrough(t *testing.T) {
+	var c *rewrite.Cache
+	opt, _, err := c.Optimize(rwPlanFor(t, "r"), rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt == nil {
+		t.Fatal("nil cache returned nil plan")
+	}
+}

@@ -50,6 +50,70 @@ func TestRandomizedPlanEquivalence(t *testing.T) {
 	}
 }
 
+// TestRandomizedPlanEquivalenceCached re-runs the generator's plans through
+// the caching pipeline: every plan is rewritten and compiled twice against a
+// shared rewrite cache, plan cache and result-caching catalog (the second
+// pass hits all three layers), and each pass's serialized answer must be
+// byte-identical to the cache-off baseline. This is the whole cache
+// contract: with caches on, nothing about an answer may change — only the
+// work to produce it.
+func TestRandomizedPlanEquivalenceCached(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020208))
+	const trials = 150
+	rwc := rewrite.NewCache(256)
+	pc := engine.NewPlanCache(256)
+	cat, _ := workload.PaperCatalog()
+	cat.EnableResultCache(256)
+	executed := 0
+	for trial := 0; trial < trials; trial++ {
+		plan := workload.RandomPlan(rng)
+		if err := xmas.Verify(plan); err != nil {
+			continue
+		}
+		opt, _, err := rewrite.Optimize(plan, rewrite.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: optimize: %v\n%s", trial, err, xmas.Format(plan))
+		}
+		baseline := serializePlan(t, trial, opt)
+		for pass := 0; pass < 2; pass++ {
+			copt, _, err := rwc.Optimize(plan, rewrite.Options{})
+			if err != nil {
+				t.Fatalf("trial %d pass %d: cached optimize: %v", trial, pass, err)
+			}
+			if got, want := xmas.Format(copt), xmas.Format(opt); got != want {
+				t.Fatalf("trial %d pass %d: cached plan diverged\ncached:\n%s\nuncached:\n%s", trial, pass, got, want)
+			}
+			prog, err := pc.CompileWith(copt, cat, engine.Options{})
+			if err != nil {
+				t.Fatalf("trial %d pass %d: cached compile: %v", trial, pass, err)
+			}
+			res := prog.Run()
+			m := res.Materialize()
+			if err := res.Err(); err != nil {
+				t.Fatalf("trial %d pass %d: cached run: %v", trial, pass, err)
+			}
+			if got := xmlio.Serialize(m); got != baseline {
+				t.Fatalf("trial %d pass %d: cached answer diverged\nplan:\n%s\ngot:\n%s\nwant:\n%s",
+					trial, pass, xmas.Format(plan), got, baseline)
+			}
+		}
+		executed++
+	}
+	if executed < 100 {
+		t.Fatalf("only %d/%d generated plans executed; generator skew?", executed, trials)
+	}
+	// The second passes must actually have exercised the caches.
+	if st := rwc.Stats(); st.Hits == 0 {
+		t.Fatal("rewrite cache never hit")
+	}
+	if st := pc.Stats(); st.Hits == 0 {
+		t.Fatal("plan cache never hit")
+	}
+	if st := cat.ResultCacheStats(); st.Hits == 0 {
+		t.Fatal("result cache never hit")
+	}
+}
+
 func serializePlan(t *testing.T, trial int, plan xmas.Op) string {
 	t.Helper()
 	cat, _ := workload.PaperCatalog()

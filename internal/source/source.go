@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"mix/internal/cache"
 	"mix/internal/relstore"
 	"mix/internal/sqlexec"
 	"mix/internal/wrapper"
@@ -103,6 +105,16 @@ type Catalog struct {
 	docs    map[string]Doc
 	relDBs  map[string]*relstore.DB
 	relDocs map[string]RelBinding
+
+	// resCache, when enabled, memoizes relational source results for every
+	// SQL shipped through ExecRel (engine rQ subplans and wrapper scans).
+	resCache *ResultCache
+
+	// registrations counts catalog mutations (AddXMLDoc/AddRelDB/AddDoc/
+	// Alias). Compiled plans resolve sources eagerly, so the plan cache keys
+	// on StructVersion; the wire layer folds it into DataVersion so remote
+	// node caches also notice re-registered documents.
+	registrations atomic.Int64
 }
 
 // NewCatalog creates an empty catalog.
@@ -123,6 +135,7 @@ func (c *Catalog) AddXMLDoc(srcID string, root *xtree.Node) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.docs[srcID] = &xmlDoc{id: srcID, root: root}
+	c.registrations.Add(1)
 }
 
 // AddRelDB registers every relation of db as a virtual document
@@ -134,9 +147,10 @@ func (c *Catalog) AddRelDB(db *relstore.DB) {
 	for _, rel := range db.Relations() {
 		t, _ := db.Table(rel)
 		id := wrapper.RootID(db.Name, rel)
-		c.docs[id] = &relDoc{id: id, db: db, schema: t.Schema}
+		c.docs[id] = &relDoc{id: id, cat: c, db: db, schema: t.Schema}
 		c.relDocs[id] = RelBinding{Server: db.Name, Relation: rel, Schema: t.Schema}
 	}
+	c.registrations.Add(1)
 }
 
 // AddDoc registers an arbitrary document implementation — the hook through
@@ -146,6 +160,7 @@ func (c *Catalog) AddDoc(srcID string, d Doc) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.docs[srcID] = d
+	c.registrations.Add(1)
 }
 
 // Alias makes alias resolve to the same source as target (so a view can call
@@ -161,7 +176,67 @@ func (c *Catalog) Alias(alias, target string) error {
 	if rb, ok := c.relDocs[target]; ok {
 		c.relDocs[alias] = rb
 	}
+	c.registrations.Add(1)
 	return nil
+}
+
+// EnableResultCache turns on the source result cache with room for the
+// given number of result sets. Call it before serving queries (mediator
+// construction); entries < 1 leaves caching off.
+func (c *Catalog) EnableResultCache(entries int) {
+	if entries < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resCache = NewResultCache(entries)
+}
+
+// ResultCacheStats snapshots the result cache's counters; zero when the
+// cache is disabled.
+func (c *Catalog) ResultCacheStats() cache.Stats {
+	c.mu.RLock()
+	rc := c.resCache
+	c.mu.RUnlock()
+	if rc == nil {
+		return cache.Stats{}
+	}
+	return rc.Stats()
+}
+
+// ExecRel executes sql against db through the result cache when one is
+// enabled, falling back to a direct store execution otherwise. Every
+// relational access of the engine and the wrapper scans route through here,
+// so the toggle covers them uniformly.
+func (c *Catalog) ExecRel(db *relstore.DB, sql string) (relstore.Cursor, error) {
+	c.mu.RLock()
+	rc := c.resCache
+	c.mu.RUnlock()
+	if rc == nil {
+		cur, _, err := sqlexec.ExecSQL(db, sql)
+		return cur, err
+	}
+	return rc.open(db, sql)
+}
+
+// StructVersion counts catalog registrations. Compiled plans resolve their
+// sources eagerly, so the plan cache folds it into its keys: registering a
+// document (including the in-place-query fallback's temporary context docs)
+// invalidates every cached program.
+func (c *Catalog) StructVersion() int64 { return c.registrations.Load() }
+
+// DataVersion is the catalog-wide data version the wire server piggybacks
+// on its responses: registrations plus every relational server's mutation
+// counter, offset so it is never zero. Remote node caches compare it across
+// round trips and purge when it moves.
+func (c *Catalog) DataVersion() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v := c.registrations.Load() + 1
+	for _, db := range c.relDBs {
+		v += db.Version()
+	}
+	return v
 }
 
 // Resolve returns the document registered under srcID.
@@ -273,6 +348,7 @@ func (s *sliceCursor) Close() {}
 
 type relDoc struct {
 	id     string
+	cat    *Catalog
 	db     *relstore.DB
 	schema relstore.Schema
 }
@@ -281,10 +357,11 @@ func (d *relDoc) RootID() string { return d.id }
 
 // Open ships the unconstrained scan "SELECT cols FROM rel ORDER BY key" —
 // what source access costs when nothing has been pushed down — and rebuilds
-// tuple objects from rows as they are pulled.
+// tuple objects from rows as they are pulled. The scan routes through the
+// catalog's result cache when one is enabled.
 func (d *relDoc) Open() (ElemCursor, error) {
 	q := scanSQL(d.schema)
-	cur, _, err := sqlexec.ExecSQL(d.db, q)
+	cur, err := d.cat.ExecRel(d.db, q)
 	if err != nil {
 		return nil, fmt.Errorf("source: scanning %s: %w", d.id, err)
 	}

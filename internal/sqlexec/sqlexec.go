@@ -76,7 +76,8 @@ func (c *countingCursor) Close() { c.closed = true }
 type binding struct {
 	alias  string
 	table  *relstore.Table
-	offset int // position of this table's first column in the joined row
+	rows   [][]relstore.Datum // snapshot taken under the store lock at bind time
+	offset int                // position of this table's first column in the joined row
 }
 
 type planned struct {
@@ -101,7 +102,11 @@ func plan(db *relstore.DB, q *sqlparse.Select) (*planned, error) {
 			return nil, fmt.Errorf("sqlexec: duplicate alias %s", tr.Alias)
 		}
 		seen[tr.Alias] = true
-		bindings[i] = binding{alias: tr.Alias, table: t, offset: offset}
+		// Rows are snapshotted under the store lock: concurrent Inserts
+		// (producer goroutines under intra-query parallelism) append to the
+		// live table, which the scan below must not observe mid-append.
+		rows, _ := db.RowsSnapshot(tr.Relation)
+		bindings[i] = binding{alias: tr.Alias, table: t, rows: rows, offset: offset}
 		offset += len(t.Schema.Columns)
 	}
 	res := &resolver{bindings: bindings}
@@ -133,7 +138,7 @@ func plan(db *relstore.DB, q *sqlparse.Select) (*planned, error) {
 				filters = append(filters, f)
 			}
 		}
-		scans[i] = &scanIter{rows: b.table.Rows, filters: filters}
+		scans[i] = &scanIter{rows: b.rows, filters: filters}
 	}
 
 	// Left-deep joins in FROM order.

@@ -33,6 +33,11 @@ type batchWindow struct {
 	nextSize  int           // next batch's Max (geometric growth)
 	delivered int           // highest index handed to the consumer
 	abandoned bool
+	// valEpoch is the node-cache epoch this window last validated the
+	// server's data version under (-1: never). Cached frames are served only
+	// while it matches the cache's current epoch — one ping per window per
+	// connection generation buys the whole cached run.
+	valEpoch int64
 }
 
 func newBatchWindow(c *Client, parent *RemoteNode, cap int, pre, deep bool) *batchWindow {
@@ -44,6 +49,7 @@ func newBatchWindow(c *Client, parent *RemoteNode, cap int, pre, deep bool) *bat
 		deep:      deep,
 		nextSize:  1,
 		delivered: -1,
+		valEpoch:  -1,
 	}
 	w.cond = sync.NewCond(&w.mu)
 	return w
@@ -96,6 +102,9 @@ func (w *batchWindow) startFetchLocked() {
 }
 
 func (w *batchWindow) fetch(skip, size int) {
+	if w.fetchFromCache(skip, size) {
+		return
+	}
 	resp, gen, err := w.c.do(Request{Op: "children", Skip: skip, Max: size, Deep: w.deep}, w.parent)
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -106,6 +115,11 @@ func (w *batchWindow) fetch(skip, size int) {
 		return
 	}
 	w.c.noteBatch(len(resp.Frames))
+	if nc := w.c.cache; nc != nil {
+		// Retain the batch whether or not the window was abandoned — the
+		// frames are valid data a later walk can reuse.
+		nc.store(w.parent.ID(), skip, resp.Frames, !resp.More || len(resp.Frames) == 0, w.deep, resp.DataVersion)
+	}
 	if w.abandoned {
 		// The consumer closed mid-flight; nobody will release these seats.
 		for _, f := range resp.Frames {
@@ -149,6 +163,91 @@ func (w *batchWindow) fetch(skip, size int) {
 			w.nextSize = w.cap
 		}
 	}
+}
+
+// fetchFromCache tries to serve the window's next batch from the client's
+// node cache instead of the wire. It returns true when cached frames were
+// appended (or the window was abandoned); false falls through to the
+// network fetch. Cached nodes are handleless (gen -1): the first op that
+// needs a server-side handle replays the node's child path — the same lazy
+// re-acquisition a redial uses — so a walk that only reads piggybacked
+// labels/values/XML never pays a round trip per node.
+//
+// Before any cached frame is served, the window validates the server's data
+// version once per connection epoch: a single ping, whose response carries
+// the version and purges the cache if it moved (see nodeCache). Runs on the
+// fetch goroutine; w.mu is never held across a round trip.
+func (w *batchWindow) fetchFromCache(skip, size int) bool {
+	nc := w.c.cache
+	if nc == nil || w.parent.ID() == "" {
+		return false
+	}
+	// Cold check before paying a validation round trip: if nothing usable is
+	// cached at this position, the network fetch is happening anyway.
+	if f, ok := nc.frames.Peek(nodeKey{parent: w.parent.ID(), idx: skip}); !ok || (w.deep && !f.hasXML) {
+		nc.misses.Add(1)
+		return false
+	}
+	epoch := nc.epoch.Load()
+	w.mu.Lock()
+	validated := w.valEpoch == epoch
+	w.mu.Unlock()
+	if !validated {
+		if err := w.c.Ping(); err != nil {
+			return false // let the network path surface the failure
+		}
+		nc.validations.Add(1)
+		// The ping itself may have redialed; record the epoch it landed on.
+		epoch = nc.epoch.Load()
+		w.mu.Lock()
+		w.valEpoch = epoch
+		w.mu.Unlock()
+	}
+	frames, complete := nc.run(w.parent.ID(), skip, w.deep)
+	if len(frames) == 0 {
+		nc.misses.Add(1)
+		return false
+	}
+	nc.hits.Add(1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	defer w.cond.Broadcast()
+	w.fetching = false
+	if w.abandoned {
+		return true // cached nodes hold no server handles; nothing to release
+	}
+	for _, f := range frames {
+		n := &RemoteNode{
+			c:      w.c,
+			gen:    -1, // handleless; see fetchFromCache doc
+			label:  f.label,
+			nodeID: f.nodeID,
+			leaf:   f.leaf,
+			value:  f.value,
+			path:   nodePath{parent: w.parent, child: true, childIdx: len(w.nodes)},
+			win:    w,
+			winIdx: len(w.nodes),
+		}
+		if f.hasXML {
+			n.xml, n.hasXML = f.xml, true
+		}
+		w.nodes = append(w.nodes, n)
+	}
+	if complete {
+		w.complete = true
+	}
+	// Grow the window exactly as a network batch would: a cached run that
+	// ends short of the tail hands the network path the same batch sizes the
+	// uncached walk would have used by this point.
+	if w.pre {
+		w.nextSize = w.cap
+	} else {
+		w.nextSize = size * 2
+		if w.nextSize > w.cap {
+			w.nextSize = w.cap
+		}
+	}
+	return true
 }
 
 // abandon releases the window's undelivered read-ahead (cursor Close):

@@ -1,0 +1,51 @@
+package wire_test
+
+import (
+	"net"
+	"testing"
+
+	"mix/internal/faultnet"
+	"mix/internal/wire"
+)
+
+// BenchmarkCachedNav* measures the node cache on the repeated-navigation
+// workload: the same 1000-child remote document is re-walked by one
+// long-lived client, with the usual 50µs per-I/O latency injected so round
+// trips cost something. The first (populating) walk runs before the timer;
+// each iteration is one full re-walk. With the cache on, a re-walk costs
+// the open plus one validation ping instead of the whole batch ladder.
+// BENCH_cache.json records the committed baseline.
+func benchCachedNav(b *testing.B, cfg wire.ClientConfig) {
+	med := flatMediator(b, benchChildren)
+	srv := wire.NewServer(med)
+	server, client := net.Pipe()
+	go func() {
+		defer server.Close()
+		_ = srv.ServeConn(server)
+	}()
+	conn := faultnet.Wrap(client, faultnet.Config{LatencyProb: 1, Latency: benchLatency})
+	c := wire.NewClientConfig(conn, cfg)
+	defer func() { _ = c.Close() }()
+
+	if n := len(walkChildren(b, c, "flatv")); n != benchChildren {
+		b.Fatalf("populating walk saw %d children, want %d", n, benchChildren)
+	}
+	rt0 := c.WireStats().RequestsSent
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := len(walkChildren(b, c, "flatv")); n != benchChildren {
+			b.Fatalf("re-walk saw %d children, want %d", n, benchChildren)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(c.WireStats().RequestsSent-rt0)/float64(b.N), "roundtrips/rewalk")
+}
+
+func BenchmarkCachedNavOff(b *testing.B) {
+	benchCachedNav(b, wire.ClientConfig{BatchSize: 64})
+}
+
+func BenchmarkCachedNavOn(b *testing.B) {
+	benchCachedNav(b, wire.ClientConfig{BatchSize: 64, NodeCache: 4096})
+}

@@ -107,6 +107,15 @@ type ClientConfig struct {
 	// (double-buffering): when the unread tail of a window drops below half
 	// the next batch size, the next batch is fetched in the background.
 	Prefetch bool
+	// NodeCache retains up to this many navigation node frames across batch
+	// windows and reconnects, keyed by (parent object id, child index): a
+	// re-walk of an already visited subtree costs one validating ping
+	// instead of re-fetching every batch. Consistency is versioned — every
+	// response piggybacks the server's data version and any change purges
+	// the cache (see nodeCache). 0 or negative (the default) disables the
+	// cache entirely: every walk fetches from the wire, byte-identical to
+	// prior behaviour.
+	NodeCache int
 }
 
 func (cfg *ClientConfig) normalize() {
@@ -139,6 +148,9 @@ func (cfg *ClientConfig) normalize() {
 	}
 	if cfg.BatchSize < 1 {
 		cfg.BatchSize = 1 // negative: batching disabled
+	}
+	if cfg.NodeCache < 0 {
+		cfg.NodeCache = 0 // negative: node cache disabled
 	}
 }
 
@@ -174,6 +186,10 @@ type deadliner interface{ SetDeadline(time.Time) error }
 type Client struct {
 	cfg     ClientConfig
 	breaker *Breaker
+	// cache is the navigation node cache (ClientConfig.NodeCache); nil when
+	// disabled. It outlives connections: reconnects bump its epoch instead
+	// of dropping it, which is what makes post-redial replay cheap.
+	cache *nodeCache
 
 	rmu sync.Mutex // guards rng
 	rng *rand.Rand
@@ -207,18 +223,32 @@ type WireStats struct {
 	BatchesFetched int64
 	FramesBatched  int64
 	Redials        int64
+	// Node cache counters (all zero when ClientConfig.NodeCache is off):
+	// window lookups served from / fallen through the cache, dedicated
+	// validating pings issued, and LRU evictions.
+	NodeCacheHits        int64
+	NodeCacheMisses      int64
+	NodeCacheValidations int64
+	NodeCacheEvictions   int64
 }
 
 // WireStats snapshots the round-trip counters.
 func (c *Client) WireStats() WireStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return WireStats{
+	st := WireStats{
 		RequestsSent:   c.reqsSent,
 		BatchesFetched: c.batchesFetched,
 		FramesBatched:  c.framesBatched,
 		Redials:        c.redials,
 	}
+	c.mu.Unlock()
+	if c.cache != nil {
+		st.NodeCacheHits = c.cache.hits.Load()
+		st.NodeCacheMisses = c.cache.misses.Load()
+		st.NodeCacheValidations = c.cache.validations.Load()
+		st.NodeCacheEvictions = c.cache.frames.Stats().Evictions
+	}
+	return st
 }
 
 func (c *Client) noteBatch(frames int) {
@@ -264,7 +294,7 @@ func NewClient(conn io.ReadWriteCloser) *Client { return NewClientConfig(conn, C
 // NewClientConfig wraps an established connection with explicit settings.
 func NewClientConfig(conn io.ReadWriteCloser, cfg ClientConfig) *Client {
 	cfg.normalize()
-	return &Client{
+	c := &Client{
 		cfg:     cfg,
 		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
@@ -272,6 +302,10 @@ func NewClientConfig(conn io.ReadWriteCloser, cfg ClientConfig) *Client {
 		out:     bufio.NewWriter(conn),
 		in:      bufio.NewReaderSize(conn, frameBufSize),
 	}
+	if cfg.NodeCache > 0 {
+		c.cache = newNodeCache(cfg.NodeCache)
+	}
+	return c
 }
 
 // Close closes the connection; further ops fail with ErrClientClosed.
@@ -317,6 +351,13 @@ func (c *Client) reconnectLocked() error {
 	c.gen++
 	c.redials++
 	c.pendingRelease = nil // old handles died with the old session
+	if c.cache != nil {
+		// Cached frames survive the reconnect, but no window serves them
+		// again until a response from the new connection vouches for the
+		// endpoint's data version (mutate-while-disconnected is invisible
+		// otherwise).
+		c.cache.bumpEpoch()
+	}
 	return nil
 }
 
@@ -419,6 +460,11 @@ func (c *Client) roundTrip(req Request, wantGen int64) (Response, int64, error) 
 	}
 	if !resp.OK {
 		return Response{}, 0, &ServerError{Msg: resp.Error}
+	}
+	if c.cache != nil {
+		// Every successful response validates (or purges) the node cache;
+		// nodeCache locks are leaves below c.mu.
+		c.cache.observe(resp.DataVersion)
 	}
 	return resp, c.gen, nil
 }

@@ -1,0 +1,248 @@
+package wire_test
+
+import (
+	"strings"
+	"testing"
+
+	"mix"
+	"mix/internal/relstore"
+	"mix/internal/wire"
+	"mix/internal/workload"
+)
+
+// TestNodeCacheRewalkParityAndRoundTrips is the node-cache acceptance gate:
+// re-walking a 1000-child remote document with the cache on costs at least
+// 5× fewer round trips than the same re-walk on a cache-off client, and the
+// visited (label, id) sequence is identical in every walk.
+func TestNodeCacheRewalkParityAndRoundTrips(t *testing.T) {
+	med := flatMediator(t, 1000)
+
+	plain := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: 16})
+	want := walkChildren(t, plain, "flatv")
+	if len(want) != 1000 {
+		t.Fatalf("uncached walk saw %d children, want 1000", len(want))
+	}
+	rtPlainFirst := plain.WireStats().RequestsSent
+	if n := len(walkChildren(t, plain, "flatv")); n != 1000 {
+		t.Fatalf("uncached re-walk saw %d children", n)
+	}
+	rtPlainRewalk := plain.WireStats().RequestsSent - rtPlainFirst
+
+	cached := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: 16, NodeCache: 4096})
+	first := walkChildren(t, cached, "flatv")
+	rtCachedFirst := cached.WireStats().RequestsSent
+	second := walkChildren(t, cached, "flatv")
+	st := cached.WireStats()
+	rtCachedRewalk := st.RequestsSent - rtCachedFirst
+
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("cached first walk diverged at %d: %q vs %q", i, first[i], want[i])
+		}
+		if second[i] != want[i] {
+			t.Fatalf("cached re-walk diverged at %d: %q vs %q", i, second[i], want[i])
+		}
+	}
+	if rtCachedRewalk*5 > rtPlainRewalk {
+		t.Fatalf("re-walk round trips: cached %d vs uncached %d — reduction < 5×",
+			rtCachedRewalk, rtPlainRewalk)
+	}
+	if st.NodeCacheHits == 0 {
+		t.Fatalf("re-walk never hit the node cache: %+v", st)
+	}
+	if st.NodeCacheValidations == 0 {
+		t.Fatal("cached frames were served without a version validation")
+	}
+	t.Logf("re-walk round trips: uncached=%d cached=%d (%.1f×), hits=%d validations=%d",
+		rtPlainRewalk, rtCachedRewalk, float64(rtPlainRewalk)/float64(rtCachedRewalk),
+		st.NodeCacheHits, st.NodeCacheValidations)
+}
+
+// TestNodeCacheOffCountersZero: with NodeCache unset the cache does not
+// exist — no counters move and no validation pings are issued. (The exact
+// cache-off round-trip counts are pinned by TestBatchSizeOneExact and the
+// federation tests.)
+func TestNodeCacheOffCountersZero(t *testing.T) {
+	med := flatMediator(t, 20)
+	c := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: 8})
+	if n := len(walkChildren(t, c, "flatv")); n != 20 {
+		t.Fatalf("walk saw %d children", n)
+	}
+	_ = walkChildren(t, c, "flatv")
+	st := c.WireStats()
+	if st.NodeCacheHits != 0 || st.NodeCacheMisses != 0 ||
+		st.NodeCacheValidations != 0 || st.NodeCacheEvictions != 0 {
+		t.Fatalf("cache-off client moved node-cache counters: %+v", st)
+	}
+}
+
+// TestNodeCacheHandlelessReplay: nodes served from the cache carry no
+// server-side handle; the first operation that needs one (here: descending
+// into a cached child) lazily re-acquires it by path replay and behaves
+// exactly like a live node.
+func TestNodeCacheHandlelessReplay(t *testing.T) {
+	med := flatMediator(t, 12)
+	c := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: 8, NodeCache: 1024})
+
+	if n := len(walkChildren(t, c, "flatv")); n != 12 {
+		t.Fatalf("populating walk saw %d children", n)
+	}
+	root, err := c.Open("flatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := root.Down() // served from cache: handleless
+	if err != nil || n == nil {
+		t.Fatalf("cached down: %v %v", n, err)
+	}
+	if c.WireStats().NodeCacheHits == 0 {
+		t.Fatal("second walk's first child did not come from the cache")
+	}
+	item, err := n.Down() // needs a handle → replay, then descend
+	if err != nil || item == nil || item.Label() != "item" {
+		t.Fatalf("descend from cached node: %v %v", item, err)
+	}
+	xml, err := item.Materialize()
+	if err != nil || !strings.Contains(xml, "v0") {
+		t.Fatalf("materialize after replay: %q %v", xml, err)
+	}
+}
+
+// TestNodeCacheDeepRewalkServesXML: a deep scan's subtree XML is retained,
+// so a repeated deep scan materializes every child for just the open and
+// the one validation ping.
+func TestNodeCacheDeepRewalkServesXML(t *testing.T) {
+	med := flatMediator(t, 10)
+	c := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: 8, NodeCache: 1024})
+
+	deepWalk := func() int {
+		root, err := c.Open("flatv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := root.DownScan(wire.ScanConfig{BatchSize: 8, Deep: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for n != nil {
+			xml, err := n.Materialize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(xml, "<item>") {
+				t.Fatalf("deep frame XML:\n%s", xml)
+			}
+			count++
+			if n, err = n.Right(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = root.Release()
+		return count
+	}
+
+	if got := deepWalk(); got != 10 {
+		t.Fatalf("first deep walk saw %d children", got)
+	}
+	before := c.WireStats().RequestsSent
+	if got := deepWalk(); got != 10 {
+		t.Fatalf("cached deep walk saw %d children", got)
+	}
+	delta := c.WireStats().RequestsSent - before
+	// open + one validation ping; every frame and its XML comes from memory.
+	if delta > 2 {
+		t.Fatalf("cached deep re-walk paid %d round trips, want ≤ 2", delta)
+	}
+}
+
+// custMediator serves a view over PaperDB's customer relation — a mutable
+// remote document, unlike the static XML of flatMediator.
+func custMediator(tb testing.TB) (*mix.Mediator, *relstore.DB) {
+	tb.Helper()
+	db := workload.PaperDB()
+	med := mix.New()
+	med.AddRelationalSource(db)
+	if _, err := med.DefineView("custv", `
+FOR $C IN document(&db1.customer)/customer
+RETURN <C> $C </C>`); err != nil {
+		tb.Fatal(err)
+	}
+	return med, db
+}
+
+// TestNodeCacheMutationInvalidates: the server piggybacks its data version
+// on every response; a row inserted between walks moves it, the client
+// purges, and the next walk observes the new row instead of cached frames.
+func TestNodeCacheMutationInvalidates(t *testing.T) {
+	med, db := custMediator(t)
+	c := dialFlat(t, med, nil, wire.ClientConfig{BatchSize: 8, NodeCache: 1024})
+
+	n0 := len(walkChildren(t, c, "custv"))
+	if n0 != 2 {
+		t.Fatalf("initial walk saw %d customers, want 2", n0)
+	}
+	_ = walkChildren(t, c, "custv") // populate + hit
+	hitsWarm := c.WireStats().NodeCacheHits
+	if hitsWarm == 0 {
+		t.Fatal("unchanged re-walk did not hit the cache")
+	}
+
+	db.MustInsert("customer", relstore.Str("GHI678"), relstore.Str("GHILtd."), relstore.Str("Chicago"))
+
+	got := walkChildren(t, c, "custv")
+	if len(got) != 3 {
+		t.Fatalf("post-mutation walk saw %d customers, want 3 (stale cache?)", len(got))
+	}
+	if c.WireStats().NodeCacheHits != hitsWarm {
+		t.Fatal("post-mutation walk served stale cached frames")
+	}
+	// The fresh frames are cached under the new version.
+	_ = walkChildren(t, c, "custv")
+	if c.WireStats().NodeCacheHits == hitsWarm {
+		t.Fatal("fresh frames were not re-cached")
+	}
+}
+
+// TestNodeCacheRedialRevalidates: a connection drop bumps the cache epoch.
+// With unchanged data the post-redial walk re-validates (one ping) and then
+// serves cached frames; after a mutation the same sequence observes the new
+// row — a redial can never resurrect stale frames.
+func TestNodeCacheRedialRevalidates(t *testing.T) {
+	med, db := custMediator(t)
+	e := newEndpoint(med)
+	cfg := fastCfg()
+	cfg.BatchSize = 8
+	cfg.NodeCache = 1024
+	c := dialEndpoint(t, e, cfg)
+
+	if n := len(walkChildren(t, c, "custv")); n != 2 {
+		t.Fatalf("initial walk saw %d customers", n)
+	}
+
+	// Drop with unchanged data: cache survives the redial via revalidation.
+	e.killConn()
+	valBefore := c.WireStats().NodeCacheValidations
+	hitsBefore := c.WireStats().NodeCacheHits
+	if n := len(walkChildren(t, c, "custv")); n != 2 {
+		t.Fatalf("post-redial walk saw %d customers", n)
+	}
+	st := c.WireStats()
+	if st.NodeCacheValidations == valBefore {
+		t.Fatal("post-redial walk served cached frames without revalidating")
+	}
+	if st.NodeCacheHits == hitsBefore {
+		t.Fatal("unchanged data after redial did not serve from cache")
+	}
+	if c.Redials() == 0 {
+		t.Fatal("the killed connection never forced a redial")
+	}
+
+	// Mutate, then drop: the post-redial validation observes the new
+	// version and the walk fetches fresh frames.
+	db.MustInsert("customer", relstore.Str("GHI678"), relstore.Str("GHILtd."), relstore.Str("Chicago"))
+	e.killConn()
+	if n := len(walkChildren(t, c, "custv")); n != 3 {
+		t.Fatalf("mutate+redial walk saw %d customers, want 3 (stale cache?)", n)
+	}
+}

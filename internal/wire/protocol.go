@@ -84,6 +84,14 @@ type Response struct {
 	NodeID string `json:"nodeId,omitempty"`
 	XML    string `json:"xml,omitempty"`
 
+	// DataVersion is the serving mediator's monotonic data version
+	// (registrations plus every relational store's mutation count),
+	// piggybacked on every successful response. Clients with a navigation
+	// node cache compare it against the last observed value and purge on
+	// change, so cache validation costs no dedicated round trip — any op
+	// (ping included) doubles as the version check.
+	DataVersion int64 `json:"dataVersion,omitempty"`
+
 	// Frames carries a children/scan batch in sibling order.
 	Frames []NodeFrame `json:"frames,omitempty"`
 	// More reports that siblings remain past the last frame (the batch was

@@ -174,6 +174,11 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 		} else {
 			resp = sess.handle(req)
 		}
+		if resp.OK {
+			// Piggyback the mediator's data version so client node caches
+			// validate for free on every successful round trip.
+			resp.DataVersion = s.med.DataVersion()
+		}
 		if err := reply(resp); err != nil {
 			return err
 		}

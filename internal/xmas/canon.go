@@ -1,0 +1,17 @@
+package xmas
+
+// CanonicalKey renders a plan as a cache key: Format with the root tD's
+// RootID blanked. The mediator mints a fresh result id per query
+// (result1, result2, ...), so two issues of the same query produce plans
+// identical except for that id; canonicalizing it away lets the rewrite and
+// plan caches hit across issues. Callers that care about the concrete root
+// id rebind it on the cached value — the id names the result document's
+// root, it never influences compilation of the plan body.
+func CanonicalKey(op Op) string {
+	if td, ok := op.(*TD); ok && td.RootID != "" {
+		c := *td
+		c.RootID = ""
+		op = &c
+	}
+	return Format(op)
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"mix/internal/cache"
 	"mix/internal/compose"
 	"mix/internal/engine"
 	"mix/internal/qdom"
@@ -74,6 +75,19 @@ type Config struct {
 	// ExchangeBuffer bounds each exchange operator's tuple buffer (the
 	// producer/consumer backpressure window). 0 means the engine default.
 	ExchangeBuffer int
+	// PlanCache holds up to this many memoized plans per pipeline stage
+	// (rewritten plans and compiled programs), keyed by canonical plan text
+	// so the mediator's per-query result ids share entries. 0 (the default)
+	// disables plan caching entirely: every query re-runs the full
+	// translate → rewrite → verify → compile pipeline, byte-identical to
+	// prior behaviour.
+	PlanCache int
+	// SourceCache holds up to this many memoized relational result sets,
+	// keyed by server name, server mutation version and normalized SQL —
+	// any Create/Insert on a store invalidates its entries in O(1) by
+	// making their keys unreachable. 0 (the default) disables result
+	// caching: every pushed-down query ships to its source.
+	SourceCache int
 }
 
 // Mediator integrates sources, maintains views, and serves QDOM documents.
@@ -86,6 +100,12 @@ type Mediator struct {
 	// childLabels collects exhaustive child-label sets from relational
 	// schemas (relation label → column names) for the schema-unsat rule.
 	childLabels map[string][]string
+
+	// rwCache and planCache memoize the rewrite and compile stages when
+	// Config.PlanCache > 0; both are nil (and their methods pass through)
+	// when plan caching is off.
+	rwCache   *rewrite.Cache
+	planCache *engine.PlanCache
 }
 
 // View is a named virtual XML view over the sources.
@@ -109,12 +129,20 @@ func New() *Mediator { return NewWith(Config{}) }
 
 // NewWith creates a mediator with explicit configuration.
 func NewWith(cfg Config) *Mediator {
-	return &Mediator{
+	m := &Mediator{
 		cfg:         cfg,
 		cat:         source.NewCatalog(),
 		views:       map[string]*View{},
 		childLabels: map[string][]string{},
 	}
+	if cfg.PlanCache > 0 {
+		m.rwCache = rewrite.NewCache(cfg.PlanCache)
+		m.planCache = engine.NewPlanCache(cfg.PlanCache)
+	}
+	if cfg.SourceCache > 0 {
+		m.cat.EnableResultCache(cfg.SourceCache)
+	}
+	return m
 }
 
 // Catalog exposes the source catalog (experiments read transfer counters
@@ -205,7 +233,7 @@ func (m *Mediator) optimize(plan xmas.Op) (composePlan, execPlan xmas.Op, err er
 		if opts.ChildLabels == nil {
 			opts.ChildLabels = m.childLabels
 		}
-		composePlan, _, err = rewrite.Optimize(plan, opts)
+		composePlan, _, err = m.rwCache.Optimize(plan, opts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -223,7 +251,7 @@ func (m *Mediator) optimize(plan xmas.Op) (composePlan, execPlan xmas.Op, err er
 // run compiles and starts a plan, wrapping the virtual result as a QDOM
 // document whose origin supports further in-place queries.
 func (m *Mediator) run(composePlan, execPlan xmas.Op, tags map[xmas.Var]string) (*qdom.Document, error) {
-	prog, err := engine.CompileWith(execPlan, m.cat, m.engineOpts())
+	prog, err := m.planCache.CompileWith(execPlan, m.cat, m.engineOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -337,7 +365,7 @@ func (m *Mediator) QueryWithMetrics(query string) (*qdom.Document, *engine.Metri
 	if err != nil {
 		return nil, nil, err
 	}
-	prog, err := engine.CompileWith(execPlan, m.cat, m.engineOpts())
+	prog, err := m.planCache.CompileWith(execPlan, m.cat, m.engineOpts())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -489,6 +517,45 @@ func (m *Mediator) engineOpts() engine.Options {
 // Health reports per-source availability (circuit-breaker state of remote
 // mediator sources); see source.Catalog.Health.
 func (m *Mediator) Health() map[string]source.Health { return m.cat.Health() }
+
+// DataVersion is a monotonic counter covering everything that can change an
+// answer served by this mediator: source registrations and every relational
+// store's mutation count. The wire server piggybacks it on each response so
+// clients can validate cached navigation state in the same round trip.
+func (m *Mediator) DataVersion() int64 { return m.cat.DataVersion() }
+
+// LayerStats reports one cache layer's counters.
+type LayerStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// CacheStats reports the mediator-side cache layers. Layers that are
+// disabled report all-zero.
+type CacheStats struct {
+	Rewrite LayerStats // memoized rewritten plans (Config.PlanCache)
+	Compile LayerStats // memoized compiled programs (Config.PlanCache)
+	Source  LayerStats // memoized relational results (Config.SourceCache)
+}
+
+// CacheStats snapshots the hit/miss/eviction counters of all cache layers.
+func (m *Mediator) CacheStats() CacheStats {
+	var cs CacheStats
+	if m.rwCache != nil {
+		cs.Rewrite = layerStats(m.rwCache.Stats())
+	}
+	if m.planCache != nil {
+		cs.Compile = layerStats(m.planCache.Stats())
+	}
+	cs.Source = layerStats(m.cat.ResultCacheStats())
+	return cs
+}
+
+func layerStats(s cache.Stats) LayerStats {
+	return LayerStats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries}
+}
 
 func (m *Mediator) freshID(prefix string) string {
 	return fmt.Sprintf("%s%d", prefix, m.nextID.Add(1))

@@ -1,0 +1,376 @@
+// Command mixload drives many concurrent wire sessions against one mediator
+// server and reports client-observed latency plus the server's session
+// counters — the load harness behind BENCH_load.json and EXPERIMENTS.md E18.
+//
+//	mixload -sessions 10000 -max-sessions 2500 -session-idle 100ms
+//	mixload -sessions 200 -max-sessions 50 -check        # CI smoke
+//	mixload -addr 127.0.0.1:7713 -sessions 500           # against mixserve
+//
+// With no -addr, mixload runs server and clients in one process over
+// net.Pipe (no file descriptors, no kernel TCP state), which is what lets a
+// single harness sustain tens of thousands of genuinely concurrent sessions;
+// the session limits (-max-sessions, -session-idle, -session-mem,
+// -session-optime) then apply to the in-process server. Setting limits below
+// the offered load is the point of the exercise: sessions turned away get
+// typed busy responses and return with jittered backoff, evicted sessions
+// resume by token, and the harness reports how many sessions experienced
+// disruption yet still completed their walk — the graceful-degradation
+// number the admission-control design is accountable to.
+//
+// Each session opens the demo view (every fourth runs the full query
+// instead: a mixed query/navigate population), walks -walk siblings reading
+// labels and values with up to -think of jittered think time between steps,
+// releases its nodes, and disconnects. Latencies are split into "open" (the
+// session's first op — includes admission waits, busy backoff and redials)
+// and "nav" (steady-state navigation steps).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mix"
+	"mix/internal/wire"
+	"mix/internal/workload"
+)
+
+func main() {
+	var (
+		sessions = flag.Int("sessions", 1000, "concurrent client sessions to run")
+		addr     = flag.String("addr", "", "remote mixserve address (empty = in-process server over net.Pipe)")
+		n        = flag.Int("n", 200, "generated customers (in-process server)")
+		walk     = flag.Int("walk", 20, "siblings each session visits")
+		think    = flag.Duration("think", 0, "max jittered think time between steps")
+		batch    = flag.Int("batch", wire.DefaultBatchSize, "client batch window cap")
+		ramp     = flag.Duration("ramp", 0, "spread session starts over this duration (0 = storm)")
+		retries  = flag.Int("retries", 5, "client transport retry budget (deliberate overload means repeated eviction)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		jsonOut  = flag.Bool("json", false, "emit the full JSON report on stdout")
+		check    = flag.Bool("check", false, "exit non-zero unless every session completed and counters are sane")
+
+		maxSessions = flag.Int("max-sessions", 0, "in-process server: admitted session cap (0 = unlimited)")
+		sessionIdle = flag.Duration("session-idle", 0, "in-process server: idle eviction threshold (0 = never)")
+		sessionMem  = flag.Int64("session-mem", 0, "in-process server: per-session frame-byte quota (0 = unlimited)")
+		sessionOp   = flag.Duration("session-optime", 0, "in-process server: per-session op-time quota (0 = unlimited)")
+		retryAfter  = flag.Duration("retry-after", 0, "in-process server: busy retry hint (0 = default)")
+	)
+	flag.Parse()
+
+	var dial func() (io.ReadWriteCloser, error)
+	var srv *wire.Server
+	var serveWG sync.WaitGroup // in-process ServeConn goroutines
+	if *addr == "" {
+		med := mix.NewWith(mix.Config{})
+		med.AddRelationalSource(workload.ScaleDB("db1", *n, 5, 42))
+		fail(med.AliasSource("&root1", "&db1.customer"))
+		fail(med.AliasSource("&root2", "&db1.orders"))
+		_, err := med.DefineView("rootv", workload.Q1)
+		fail(err)
+		srv = wire.NewServer(med)
+		srv.MaxSessions = *maxSessions
+		srv.SessionIdle = *sessionIdle
+		srv.SessionMem = *sessionMem
+		srv.SessionOpTime = *sessionOp
+		srv.RetryAfter = *retryAfter
+		dial = func() (io.ReadWriteCloser, error) {
+			cc, sc := net.Pipe()
+			serveWG.Add(1)
+			go func() {
+				defer serveWG.Done()
+				_ = srv.ServeConn(sc)
+			}()
+			return cc, nil
+		}
+	} else {
+		a := *addr
+		dial = func() (io.ReadWriteCloser, error) { return net.Dial("tcp", a) }
+	}
+
+	// Peak-heap sampler: "bounded memory" is an acceptance criterion, so
+	// measure it instead of asserting it.
+	var peakHeap uint64
+	stopSampler := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		var ms runtime.MemStats
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peakHeap {
+					peakHeap = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+
+	results := make([]sessionResult, *sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *sessions; i++ {
+		if *ramp > 0 && *sessions > 1 {
+			time.Sleep(*ramp / time.Duration(*sessions))
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runSession(i, dial, *walk, *think, *batch, *retries, *seed)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(stopSampler)
+	<-samplerDone
+
+	var st mix.SessionStats
+	if srv != nil {
+		_ = srv.Close() // retire all sessions, stop the eviction clock
+		// Evicted sessions' goroutines may still be winding down (their
+		// finish reconciles the memory accounting); wait before snapshotting.
+		serveWG.Wait()
+		st = srv.SessionStats()
+	}
+
+	rep := buildReport(results, wall, peakHeap, st, srv != nil)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fail(enc.Encode(&rep))
+	} else {
+		fmt.Printf("mixload: %d sessions, %d completed, %d failed in %v\n",
+			rep.Sessions, rep.Completed, rep.Failed, wall.Round(time.Millisecond))
+		fmt.Printf("  open  p50 %v  p99 %v   nav p50 %v  p99 %v\n",
+			time.Duration(rep.OpenP50Us)*time.Microsecond, time.Duration(rep.OpenP99Us)*time.Microsecond,
+			time.Duration(rep.NavP50Us)*time.Microsecond, time.Duration(rep.NavP99Us)*time.Microsecond)
+		fmt.Printf("  disrupted %d (busy/evicted/redialed), completed anyway %d (%.2f%%)\n",
+			rep.Disrupted, rep.DisruptedOK, 100*rep.DisruptedOKRate)
+		fmt.Printf("  client: %d requests, %d busy retries, %d resumes, %d redials\n",
+			rep.Requests, rep.BusyRetries, rep.Resumes, rep.Redials)
+		if srv != nil {
+			fmt.Printf("  server: accepted %d, busy %d, shed %d, idle-evicted %d, optime-evicted %d, resumed %d (peak live %d), shed-rate %.3f\n",
+				st.Accepted, st.RejectedBusy, st.Shed, st.IdleEvicted, st.OpTimeEvicted, st.Resumed, st.Peak, rep.ShedRate)
+		}
+		fmt.Printf("  peak heap %.1f MiB\n", float64(peakHeap)/(1<<20))
+		for msg, count := range rep.Errors {
+			fmt.Printf("  error ×%d: %s\n", count, msg)
+		}
+	}
+
+	if *check {
+		fail(sanity(&rep, st, srv != nil, *maxSessions))
+	}
+}
+
+// sessionResult is one session's outcome: its op latencies, whether it
+// completed its walk, and whether admission control ever disrupted it.
+type sessionResult struct {
+	openUs    int64   // first-op latency (admission + open/query), microseconds
+	navUs     []int64 // per-navigation-step latencies, microseconds
+	err       error
+	disrupted bool // saw a busy rejection, an eviction resume, or a redial
+	stats     wire.WireStats
+}
+
+// runSession returns by name: the deferred stats harvest below must land in
+// the value the caller sees.
+func runSession(i int, dial func() (io.ReadWriteCloser, error), walk int, think time.Duration, batch, retries int, seed int64) (res sessionResult) {
+	conn, err := dial()
+	if err != nil {
+		res.err = fmt.Errorf("dial: %w", err)
+		return res
+	}
+	c := wire.NewClientConfig(conn, wire.ClientConfig{
+		Redial:     dial,
+		BatchSize:  batch,
+		MaxRetries: retries,
+		Seed:       seed + int64(i) + 1,
+	})
+	defer func() {
+		res.stats = c.WireStats()
+		res.disrupted = res.stats.BusyRetries > 0 || res.stats.Resumes > 0 || res.stats.Redials > 0
+		_ = c.Close()
+	}()
+	rng := rand.New(rand.NewSource(seed ^ int64(i)*0x9e3779b9))
+
+	// Every fourth session runs the full query; the rest open the view and
+	// navigate — the mixed query/navigation population of the paper's
+	// client/server deployment.
+	var root *wire.RemoteNode
+	begin := time.Now()
+	if i%4 == 0 {
+		root, err = c.Query(workload.Q1)
+	} else {
+		root, err = c.Open("rootv")
+	}
+	res.openUs = time.Since(begin).Microseconds()
+	if err != nil {
+		res.err = fmt.Errorf("open: %w", err)
+		return res
+	}
+	node, err := root.Down()
+	if err != nil {
+		res.err = fmt.Errorf("down: %w", err)
+		return res
+	}
+	for step := 0; node != nil && step < walk; step++ {
+		_ = node.Label()
+		if node.IsLeaf() {
+			_, _ = node.Value()
+		}
+		if think > 0 {
+			time.Sleep(time.Duration(rng.Int63n(int64(think) + 1)))
+		}
+		begin = time.Now()
+		next, err := node.Right()
+		res.navUs = append(res.navUs, time.Since(begin).Microseconds())
+		if err != nil {
+			res.err = fmt.Errorf("right (step %d): %w", step, err)
+			return res
+		}
+		_ = node.Release()
+		node = next
+	}
+	if node != nil {
+		_ = node.Release()
+	}
+	_ = root.Release()
+	return res
+}
+
+// report is the JSON document mixload emits; BENCH_load.json embeds one.
+type report struct {
+	Sessions  int `json:"sessions"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+
+	WallMs    int64   `json:"wall_ms"`
+	OpenP50Us int64   `json:"open_p50_us"`
+	OpenP99Us int64   `json:"open_p99_us"`
+	NavP50Us  int64   `json:"nav_p50_us"`
+	NavP99Us  int64   `json:"nav_p99_us"`
+	NavOps    int     `json:"nav_ops"`
+	PeakHeapB uint64  `json:"peak_heap_bytes"`
+	ShedRate  float64 `json:"shed_rate"`
+
+	// Disrupted sessions saw admission control act on them (busy response,
+	// eviction resume, or redial); DisruptedOK completed their walk anyway.
+	Disrupted       int     `json:"disrupted"`
+	DisruptedOK     int     `json:"disrupted_ok"`
+	DisruptedOKRate float64 `json:"disrupted_ok_rate"`
+
+	Requests    int64 `json:"requests"`
+	BusyRetries int64 `json:"busy_retries"`
+	Resumes     int64 `json:"resumes"`
+	Redials     int64 `json:"redials"`
+
+	Server *mix.SessionStats `json:"server,omitempty"`
+
+	Errors map[string]int `json:"errors,omitempty"`
+}
+
+func buildReport(results []sessionResult, wall time.Duration, peakHeap uint64, st mix.SessionStats, haveServer bool) report {
+	rep := report{
+		Sessions:  len(results),
+		WallMs:    wall.Milliseconds(),
+		PeakHeapB: peakHeap,
+		Errors:    map[string]int{},
+	}
+	var opens, navs []int64
+	for i := range results {
+		r := &results[i]
+		if r.err == nil {
+			rep.Completed++
+		} else {
+			rep.Failed++
+			msg := r.err.Error()
+			if len(msg) > 120 {
+				msg = msg[:120]
+			}
+			rep.Errors[msg]++
+		}
+		if r.disrupted {
+			rep.Disrupted++
+			if r.err == nil {
+				rep.DisruptedOK++
+			}
+		}
+		opens = append(opens, r.openUs)
+		navs = append(navs, r.navUs...)
+		rep.Requests += r.stats.RequestsSent
+		rep.BusyRetries += r.stats.BusyRetries
+		rep.Resumes += r.stats.Resumes
+		rep.Redials += r.stats.Redials
+	}
+	rep.NavOps = len(navs)
+	rep.OpenP50Us, rep.OpenP99Us = percentiles(opens)
+	rep.NavP50Us, rep.NavP99Us = percentiles(navs)
+	if rep.Disrupted > 0 {
+		rep.DisruptedOKRate = float64(rep.DisruptedOK) / float64(rep.Disrupted)
+	}
+	if haveServer {
+		rep.Server = &st
+		if st.Accepted > 0 {
+			rep.ShedRate = float64(st.Shed+st.IdleEvicted+st.OpTimeEvicted) / float64(st.Accepted)
+		}
+	}
+	if len(rep.Errors) == 0 {
+		rep.Errors = nil
+	}
+	return rep
+}
+
+func percentiles(us []int64) (p50, p99 int64) {
+	if len(us) == 0 {
+		return 0, 0
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	return us[len(us)/2], us[(len(us)*99)/100]
+}
+
+// sanity is the -check gate CI runs: every session completed, and the
+// session counters tell a coherent story.
+func sanity(rep *report, st mix.SessionStats, haveServer bool, maxSessions int) error {
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d sessions failed: %v", rep.Failed, rep.Sessions, rep.Errors)
+	}
+	if !haveServer {
+		return nil
+	}
+	if st.Accepted < int64(rep.Sessions) {
+		return fmt.Errorf("accepted %d < %d sessions: some sessions never admitted yet all completed?", st.Accepted, rep.Sessions)
+	}
+	if evicted := st.Shed + st.IdleEvicted + st.OpTimeEvicted; evicted > st.Accepted {
+		return fmt.Errorf("shed-rate insanity: %d evictions > %d admissions", evicted, st.Accepted)
+	}
+	if st.Resumed > st.Accepted {
+		return fmt.Errorf("counter insanity: %d resumes > %d admissions", st.Resumed, st.Accepted)
+	}
+	if st.Live != 0 || st.MemBytes != 0 {
+		return fmt.Errorf("server not drained: %d live sessions, %d outstanding bytes", st.Live, st.MemBytes)
+	}
+	if maxSessions > 0 && rep.Sessions > maxSessions && st.RejectedBusy == 0 && st.Shed == 0 {
+		return fmt.Errorf("offered %d sessions over a %d cap but admission control never acted (no busy, no shed)", rep.Sessions, maxSessions)
+	}
+	return nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixload:", err)
+		os.Exit(1)
+	}
+}

@@ -7,13 +7,27 @@
 // Clients connect with the internal/wire client library; navigation
 // evaluates QDOM steps remotely, with sibling scans batched adaptively
 // (children/scan ops, capped by -max-batch) while staying demand-driven.
+//
+// The session front end is tuned by -max-sessions, -session-idle,
+// -session-mem and -session-optime (all off by default: unlimited sessions,
+// exactly the pre-limits behaviour). With limits on, admission rejections
+// answer with a typed busy response carrying the -retry-after hint, and
+// evicted or shed sessions get a resumable token so reconnecting clients
+// continue where they left off. SIGINT/SIGTERM trigger a graceful drain:
+// stop accepting, let in-flight ops finish within -drain-timeout, then close
+// every session.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"mix"
 	"mix/internal/wire"
@@ -30,6 +44,13 @@ func main() {
 		exchangeBuf = flag.Int("exchange-buffer", 0, "exchange operator tuple buffer (0 = engine default)")
 		planCache   = flag.Int("plan-cache", 0, "memoized plans per pipeline stage (0 = plan caching off)")
 		srcCache    = flag.Int("source-cache", 0, "memoized relational result sets (0 = result caching off)")
+
+		maxSessions = flag.Int("max-sessions", 0, "admitted session cap; above it new connections get a typed busy response (0 = unlimited)")
+		sessionIdle = flag.Duration("session-idle", 0, "evict sessions idle longer than this, leaving a resumable token (0 = never)")
+		sessionMem  = flag.Int64("session-mem", 0, "per-session outstanding frame bytes across held handles (0 = unlimited)")
+		sessionOp   = flag.Duration("session-optime", 0, "per-session cumulative op-time quota before eviction (0 = unlimited)")
+		retryAfter  = flag.Duration("retry-after", 0, "retry hint carried by busy responses (0 = built-in default)")
+		drainWait   = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight ops on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -51,8 +72,39 @@ func main() {
 	srv := wire.NewServer(med)
 	srv.MaxHandles = *maxHandles
 	srv.MaxBatch = *maxBatch
+	srv.MaxSessions = *maxSessions
+	srv.SessionIdle = *sessionIdle
+	srv.SessionMem = *sessionMem
+	srv.SessionOpTime = *sessionOp
+	srv.RetryAfter = *retryAfter
 	srv.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "mixserve:", err) }
-	fail(srv.Serve(l))
+
+	// Serve in a goroutine so the main goroutine can watch for signals; a
+	// graceful Shutdown makes Serve return wire.ErrServerClosed, which is a
+	// clean exit, not a failure.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, wire.ErrServerClosed) {
+			fail(err)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "mixserve: %v: draining (%v budget)\n", sig, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mixserve: drain cut short:", err)
+		}
+		<-errc // Serve has returned ErrServerClosed
+		st := med.SessionStats()
+		fmt.Fprintf(os.Stderr, "mixserve: stopped (accepted %d, busy %d, shed %d, resumed %d)\n",
+			st.Accepted, st.RejectedBusy, st.Shed, st.Resumed)
+	}
 }
 
 func fail(err error) {

@@ -56,3 +56,38 @@ func (c *CacheCounters) snapshot() (int64, int64, int64) {
 func (c *CacheCounters) copyHits() atomic.Int64 {
 	return c.hits // want "atomic cell hits copied or read non-atomically"
 }
+
+// SessionCounters mirrors the session front end's admission/shed/eviction
+// cells (wire's sessionStats, the per-session mem gauge): counters bumped
+// from per-connection goroutines and read by stats snapshots must go
+// through the atomic API on both sides.
+type SessionCounters struct {
+	accepted atomic.Int64
+	shed     atomic.Int64
+	memBytes int64
+	label    string
+}
+
+func (s *SessionCounters) admit(n int64) {
+	go func() {
+		s.accepted.Add(1)
+		s.shed.Add(1)
+		atomic.AddInt64(&s.memBytes, n)
+	}()
+}
+
+func (s *SessionCounters) snapshot() (int64, int64) {
+	return s.accepted.Load(), atomic.LoadInt64(&s.memBytes)
+}
+
+func (s *SessionCounters) copyShed() atomic.Int64 {
+	return s.shed // want "atomic cell shed copied or read non-atomically"
+}
+
+func (s *SessionCounters) racyMemReset() {
+	s.memBytes = 0 // want "field memBytes is updated with sync/atomic elsewhere"
+}
+
+func (s *SessionCounters) labelOK() string {
+	return s.label
+}

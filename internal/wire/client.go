@@ -24,6 +24,11 @@ const (
 	// starts at one frame and doubles toward this cap as the client keeps
 	// scanning, so the cap is only reached on long walks.
 	DefaultBatchSize = 64
+	// DefaultBusyRetries bounds retries after typed server-busy admission
+	// rejections. Generous on purpose: busy is the server shedding load it
+	// expects to absorb shortly, so the client should outlast a burst
+	// rather than fail a session that was never even admitted.
+	DefaultBusyRetries = 25
 )
 
 // ErrConnectionBroken reports an operation attempted on a connection that
@@ -42,6 +47,19 @@ var ErrClientClosed = errors.New("wire: client closed")
 type ServerError struct{ Msg string }
 
 func (e *ServerError) Error() string { return "wire: " + e.Msg }
+
+// ServerBusyError reports a typed admission rejection: the server is at its
+// session limit (or draining) and the op was never executed, so any op —
+// idempotent or not — is safe to retry. RetryAfter carries the server's
+// hint. The client honours busy with its own retry budget
+// (ClientConfig.BusyRetries), sleeping the hint plus jittered exponential
+// backoff; busy never feeds the circuit breaker (the endpoint is alive and
+// answering — that is the opposite of the failure the breaker guards).
+type ServerBusyError struct{ RetryAfter time.Duration }
+
+func (e *ServerBusyError) Error() string {
+	return fmt.Sprintf("wire: server busy (retry after %v)", e.RetryAfter)
+}
 
 // TransportError wraps a connection-level failure (timeout, reset, EOF,
 // garbled framing). Transport errors are retried for idempotent operations,
@@ -75,6 +93,14 @@ type ClientConfig struct {
 	// d = min(BackoffMax, BackoffBase·2^(k-1)).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// BusyRetries bounds retries after a typed server-busy admission
+	// rejection (*ServerBusyError). Busy is load shedding, not failure: it
+	// has its own budget separate from MaxRetries, applies to every op (a
+	// rejected op was never executed), and never feeds the circuit
+	// breaker. Each retry sleeps the server's retry-after hint plus the
+	// jittered exponential backoff. 0 means DefaultBusyRetries; negative
+	// disables busy retries (busy surfaces to the caller immediately).
+	BusyRetries int
 	// Seed seeds the jitter source (deterministic tests); 0 means 1.
 	Seed int64
 	// MaxFrame bounds one protocol frame in bytes; 0 means
@@ -131,6 +157,9 @@ func (cfg *ClientConfig) normalize() {
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = DefaultBackoffMax
 	}
+	if cfg.BusyRetries == 0 {
+		cfg.BusyRetries = DefaultBusyRetries
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -159,6 +188,13 @@ func (cfg *ClientConfig) retries() int {
 		return 0
 	}
 	return cfg.MaxRetries
+}
+
+func (cfg *ClientConfig) busyRetries() int {
+	if cfg.BusyRetries < 0 {
+		return 0
+	}
+	return cfg.BusyRetries
 }
 
 // idempotentOps may be retried blindly: they read state that exists
@@ -209,10 +245,21 @@ type Client struct {
 	// saved. Cleared on reconnect (handles die with the session).
 	pendingRelease []int64
 
+	// sessionToken is the resumable session token issued by a
+	// session-limited server on the first response after admission. A
+	// reconnect presents it in a resume request before any other op, so an
+	// evicted session re-attaches its server-side record and path replay
+	// lands on the resumed session. Empty against limit-less servers —
+	// which is what keeps the resume round trip (and every other
+	// byte of this machinery) off the wire in the default configuration.
+	sessionToken string
+
 	redials        int64 // diagnostics: successful reconnects
 	reqsSent       int64 // round trips issued (counted after a successful flush)
 	batchesFetched int64 // children/scan batches received
 	framesBatched  int64 // frames across those batches
+	busyRetries    int64 // retries consumed by server-busy rejections
+	resumes        int64 // successful session-token resumes
 }
 
 // WireStats are the client's round-trip counters. Benchmarks and tests
@@ -223,6 +270,11 @@ type WireStats struct {
 	BatchesFetched int64
 	FramesBatched  int64
 	Redials        int64
+	// BusyRetries counts retries consumed by typed server-busy admission
+	// rejections; Resumes counts successful session-token resumes after a
+	// reconnect. Both stay zero against servers without session limits.
+	BusyRetries int64
+	Resumes     int64
 	// Node cache counters (all zero when ClientConfig.NodeCache is off):
 	// window lookups served from / fallen through the cache, dedicated
 	// validating pings issued, and LRU evictions.
@@ -240,6 +292,8 @@ func (c *Client) WireStats() WireStats {
 		BatchesFetched: c.batchesFetched,
 		FramesBatched:  c.framesBatched,
 		Redials:        c.redials,
+		BusyRetries:    c.busyRetries,
+		Resumes:        c.resumes,
 	}
 	c.mu.Unlock()
 	if c.cache != nil {
@@ -320,6 +374,15 @@ func (c *Client) Close() error {
 // catalog health).
 func (c *Client) BreakerSnapshot() BreakerSnapshot { return c.breaker.Snapshot() }
 
+// hasSessionToken reports whether the server issued a resumable session
+// token — i.e. this client is talking to a session-limited server where
+// eviction is a normal, recoverable event.
+func (c *Client) hasSessionToken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessionToken != ""
+}
+
 // Redials reports how many times the client reconnected (diagnostics).
 func (c *Client) Redials() int64 {
 	c.mu.Lock()
@@ -357,6 +420,79 @@ func (c *Client) reconnectLocked() error {
 		// endpoint's data version (mutate-while-disconnected is invisible
 		// otherwise).
 		c.cache.bumpEpoch()
+	}
+	if c.sessionToken != "" {
+		// A session-limited server issued a token: present it before any
+		// other op so the new connection re-attaches the evicted session's
+		// record instead of competing for a fresh admission slot.
+		if err := c.resumeLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resumeLocked performs the resume exchange on a freshly redialed
+// connection (c.mu held, called only from reconnectLocked). It is a raw
+// round trip — the do/attemptOnce machinery sits above c.mu — and must be
+// the session's first request: admission treats a leading resume op as the
+// evicted session returning, admitting it even at capacity since its load
+// is already accounted for. A busy answer surfaces as *ServerBusyError
+// (do's busy budget redials and retries); a plain rejection means the
+// token is unknown — expired, or a limit-less server — so it is dropped
+// and the session carries on as a fresh admission.
+func (c *Client) resumeLocked() error {
+	c.next++
+	req := Request{ID: c.next, Op: "resume", Token: c.sessionToken}
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	if d, ok := c.conn.(deadliner); ok && c.cfg.OpTimeout > 0 {
+		_ = d.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
+		defer d.SetDeadline(time.Time{})
+	}
+	if _, err := c.out.Write(payload); err != nil {
+		c.broken = true
+		return &TransportError{Err: err}
+	}
+	if err := c.out.Flush(); err != nil {
+		c.broken = true
+		return &TransportError{Err: err}
+	}
+	c.reqsSent++
+	line, err := readFrame(c.in, c.cfg.MaxFrame)
+	if err != nil {
+		c.broken = true
+		return &TransportError{Err: err}
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		c.broken = true
+		return &TransportError{Err: fmt.Errorf("garbled response: %w", err)}
+	}
+	if resp.ID != req.ID {
+		c.broken = true
+		return &TransportError{Err: fmt.Errorf("response id %d for request %d", resp.ID, req.ID)}
+	}
+	// A well-formed resume answer — busy included — proves the endpoint
+	// alive. Record it with the breaker: under an eviction storm every op
+	// attempt ends in a transport error (each one a breaker failure), and
+	// without this reset the breaker would open against a server that is
+	// answering every redial.
+	c.breaker.Success()
+	if resp.Busy {
+		c.broken = true
+		return &ServerBusyError{RetryAfter: time.Duration(resp.RetryAfterMs) * time.Millisecond}
+	}
+	if !resp.OK {
+		c.sessionToken = ""
+		return nil
+	}
+	c.sessionToken = resp.Token
+	if resp.Token != "" {
+		c.resumes++
 	}
 	return nil
 }
@@ -458,8 +594,21 @@ func (c *Client) roundTrip(req Request, wantGen int64) (Response, int64, error) 
 		c.broken = true
 		return Response{}, 0, &TransportError{Err: fmt.Errorf("response id %d for request %d", resp.ID, req.ID)}
 	}
+	if resp.Busy {
+		// Admission rejection: the server is closing the connection behind
+		// this response, so mark the connection broken — the busy retry in
+		// do redials and tries admission again after the hinted delay.
+		c.broken = true
+		return Response{}, 0, &ServerBusyError{RetryAfter: time.Duration(resp.RetryAfterMs) * time.Millisecond}
+	}
 	if !resp.OK {
 		return Response{}, 0, &ServerError{Msg: resp.Error}
+	}
+	if resp.Token != "" {
+		// First response after admission on a session-limited server: hold
+		// the resumable token so a later eviction or disconnect resumes
+		// transparently on redial.
+		c.sessionToken = resp.Token
 	}
 	if c.cache != nil {
 		// Every successful response validates (or purges) the node cache;
@@ -490,6 +639,21 @@ func (c *Client) backoff(attempt int) {
 	time.Sleep(jittered)
 }
 
+// busyBackoff sleeps before busy retry attempt k (1-based): the server's
+// retry-after hint plus the usual jittered exponential term. The hint is a
+// floor, never the whole sleep — if every rejected client came back after
+// exactly the hint, the busy storm would arrive in lockstep again.
+func (c *Client) busyBackoff(attempt int, hint time.Duration) {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	c.rmu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.rmu.Unlock()
+	time.Sleep(hint + jittered)
+}
+
 // attemptOnce resolves the node's handle (replaying its path if the
 // connection turned over) and performs one round trip.
 func (c *Client) attemptOnce(req Request, n *RemoteNode) (Response, int64, error) {
@@ -509,10 +673,15 @@ func (c *Client) attemptOnce(req Request, n *RemoteNode) (Response, int64, error
 	return c.roundTrip(req, wantGen)
 }
 
-// probe runs the half-open breaker probe: a bare ping.
+// probe runs the half-open breaker probe: a bare ping. A busy answer does
+// not feed the breaker: the endpoint is alive and shedding load, which is
+// the opposite of the dead-endpoint condition the breaker guards.
 func (c *Client) probe() error {
 	if _, _, err := c.attemptOnce(Request{Op: "ping"}, nil); err != nil {
-		c.breaker.Failure(err)
+		var busy *ServerBusyError
+		if !errors.As(err, &busy) {
+			c.breaker.Failure(err)
+		}
 		return fmt.Errorf("wire: half-open probe: %w", err)
 	}
 	c.breaker.Success()
@@ -522,18 +691,30 @@ func (c *Client) probe() error {
 // do is the op driver: breaker gate (with half-open ping probe), bounded
 // retry with backoff for idempotent ops, and a single reconnect-and-replay
 // recovery attempt for the remaining (read-only but handle-allocating) ops.
+// Typed server-busy rejections run on their own budget (BusyRetries): the
+// rejected op was never executed, so every op is busy-retryable, the retry
+// does not consume a transport attempt, and busy never trips the breaker.
 func (c *Client) do(req Request, n *RemoteNode) (Response, int64, error) {
 	maxAttempts := 1
 	if idempotentOps[req.Op] {
 		maxAttempts += c.cfg.retries()
 	} else if c.cfg.Redial != nil {
 		maxAttempts++ // one recovery attempt after reconnect
-	}
-	var lastErr error
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		if attempt > 0 {
-			c.backoff(attempt)
+		if c.hasSessionToken() {
+			// Session-limited server: eviction is a routine, resumable event,
+			// not an anomaly, so transport failures get the full retry budget
+			// for every op. This cannot leak handles the way retrying a
+			// handle-allocating op normally could: a reconnect drops the old
+			// session's handle table wholesale, so an executed-but-unanswered
+			// op left nothing behind to double-allocate.
+			if full := 1 + c.cfg.retries(); full > maxAttempts {
+				maxAttempts = full
+			}
 		}
+	}
+	busyBudget := c.cfg.busyRetries()
+	var lastErr error
+	for attempt, busyAttempt := 0, 0; attempt < maxAttempts; {
 		probe, err := c.breaker.Allow()
 		if err != nil {
 			return Response{}, 0, err
@@ -541,6 +722,9 @@ func (c *Client) do(req Request, n *RemoteNode) (Response, int64, error) {
 		if probe && req.Op != "ping" {
 			if err := c.probe(); err != nil {
 				lastErr = err
+				if attempt++; attempt < maxAttempts {
+					c.backoff(attempt)
+				}
 				continue
 			}
 		}
@@ -549,12 +733,26 @@ func (c *Client) do(req Request, n *RemoteNode) (Response, int64, error) {
 			c.breaker.Success()
 			return resp, gen, nil
 		}
+		var busy *ServerBusyError
+		if errors.As(err, &busy) {
+			if busyAttempt++; busyAttempt > busyBudget {
+				return Response{}, 0, err
+			}
+			c.mu.Lock()
+			c.busyRetries++
+			c.mu.Unlock()
+			c.busyBackoff(busyAttempt, busy.RetryAfter)
+			continue
+		}
 		if !isTransient(err) {
 			// Application-level failure: endpoint alive, don't retry.
 			return Response{}, 0, err
 		}
 		c.breaker.Failure(err)
 		lastErr = err
+		if attempt++; attempt < maxAttempts {
+			c.backoff(attempt)
+		}
 	}
 	return Response{}, 0, lastErr
 }
@@ -707,12 +905,37 @@ func (c *Client) replayLocked(n *RemoteNode, gen int64) error {
 		}
 		handle, gen, resp = next.Handle, g, next
 	}
-	if n.nodeID != "" && resp.NodeID != "" && resp.NodeID != n.nodeID {
+	if resultScoped(n) {
+		// Query results are fresh instances on every execution: their
+		// synthetic object ids (&resultN) change each run, so id equality
+		// would reject every replayed query node. The path is positional —
+		// verify the label still matches and rebase the recorded id.
+		if n.label != "" && resp.Label != "" && resp.Label != n.label {
+			return fmt.Errorf("wire: replay diverged: node %s (label %s) is now labeled %s", n.nodeID, n.label, resp.Label)
+		}
+		n.nodeID = resp.NodeID
+	} else if n.nodeID != "" && resp.NodeID != "" && resp.NodeID != n.nodeID {
 		return fmt.Errorf("wire: replay diverged: node %s is now %s", n.nodeID, resp.NodeID)
 	}
 	n.handle = handle
 	n.gen = gen
 	return nil
+}
+
+// resultScoped reports whether n lives inside a query's result tree: its
+// origin chain reaches a query/queryFrom before any view open. Replaying
+// such a node re-executes the query, producing a fresh result instance
+// whose synthetic object ids differ run to run.
+func resultScoped(n *RemoteNode) bool {
+	for p := n; p != nil; p = p.path.parent {
+		if p.path.query != "" {
+			return true
+		}
+		if p.path.view != "" {
+			return false
+		}
+	}
+	return false
 }
 
 // RemoteNode is the client-resident stand-in for a node of a virtual

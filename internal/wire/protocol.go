@@ -22,17 +22,29 @@
 // breaker fails fast while an endpoint is down (see ClientConfig and
 // DESIGN.md's Resilience section). Handles are explicitly released with the
 // close op so sessions stay bounded.
+//
+// The server side scales to session counts well past what one mediator can
+// serve at once: admission control bounds the live sessions (typed busy
+// responses carry a retry-after hint the client's backoff honours),
+// per-session quotas cap handles, outstanding frame bytes and cumulative op
+// time, an eviction clock sheds idle or over-quota sessions gracefully, and
+// resumable session tokens let an evicted client reconnect, resume, and
+// replay its navigation paths onto fresh handles with no user-visible
+// failure (see DESIGN.md's "Sessions & admission control").
 package wire
 
 // Request is one client command.
 type Request struct {
 	ID int64 `json:"id"`
 	// Op is the command: open, query, queryFrom, down, right, up, label,
-	// value, nodeID, materialize, children, scan, stats, ping, close. close
-	// releases the node handle it names and is idempotent. children and
-	// scan are the batched navigation ops: children returns up to Max
-	// sibling frames starting at the Skip-th child of Handle; scan returns
-	// up to Max right-siblings of Handle itself.
+	// value, nodeID, materialize, children, scan, stats, ping, close,
+	// resume. close releases the node handle it names and is idempotent.
+	// children and scan are the batched navigation ops: children returns up
+	// to Max sibling frames starting at the Skip-th child of Handle; scan
+	// returns up to Max right-siblings of Handle itself. resume presents a
+	// session token (Token) as the first request of a reconnected session so
+	// an evicted client re-attaches its session record; it is idempotent and
+	// a no-op on servers without session limits.
 	Op string `json:"op"`
 	// View names the view for open.
 	View string `json:"view,omitempty"`
@@ -53,6 +65,8 @@ type Request struct {
 	// batch frames ride along on the next request instead of costing one
 	// close round trip each. Releasing an unknown handle is a no-op.
 	Release []int64 `json:"release,omitempty"`
+	// Token carries the resumable session token for the resume op.
+	Token string `json:"token,omitempty"`
 }
 
 // NodeFrame is one node of a batched children/scan response: the same
@@ -72,6 +86,20 @@ type Response struct {
 	ID    int64  `json:"id"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+
+	// Busy marks an admission rejection: the server is at its session limit
+	// (or draining) and the op was never executed, so any op may be retried
+	// after RetryAfterMs milliseconds. The server closes the connection
+	// behind a busy response; the client redials on retry. The client
+	// surfaces Busy as *ServerBusyError and retries with jittered backoff.
+	Busy         bool  `json:"busy,omitempty"`
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
+
+	// Token is the session's resumable token, sent once on the first
+	// response after admission (and echoed by the resume op) when the
+	// server runs with session limits. An evicted client presents it in a
+	// resume request after redialing to re-attach its session record.
+	Token string `json:"token,omitempty"`
 
 	// Handle is the node handle produced by open/query/queryFrom/down/
 	// right/up. Null (0 with Nil=true) encodes the paper's ⊥.

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mix"
 	"mix/internal/xmlio"
@@ -27,7 +29,20 @@ const DefaultMaxBatch = 256
 // batch to the session's frame budget.
 const frameOverhead = 96
 
+// sessBufSize is the per-session read buffer. Sessions number in the tens
+// of thousands on a loaded server, so the buffer is deliberately smaller
+// than the client's frameBufSize — readFrame reassembles frames of any size
+// from it chunk by chunk, only per-session memory changes.
+const sessBufSize = 16 << 10
+
 // Server hosts a mediator for remote QDOM clients.
+//
+// The session-scale knobs (MaxSessions, SessionIdle, SessionMem,
+// SessionOpTime) are all off at zero: the server then runs the exact
+// unlimited protocol, with no admission step and no resume tokens. Setting
+// any of them turns on the session front end: admission control with typed
+// busy responses, quotas, an eviction clock, and resumable session tokens
+// (see DESIGN.md "Sessions & admission control").
 type Server struct {
 	med *mix.Mediator
 
@@ -46,23 +61,55 @@ type Server struct {
 	// framing, I/O errors) that Serve would otherwise swallow.
 	ErrorLog func(error)
 
-	sessMu   sync.Mutex
-	sessions map[*session]struct{}
-}
+	// MaxSessions bounds the concurrently admitted sessions; 0 means
+	// unlimited. At the bound, a new session first tries to shed the idlest
+	// sheddable session; failing that it is rejected with a typed busy
+	// response carrying a retry-after hint, and the client retries with
+	// jittered backoff.
+	MaxSessions int
+	// SessionIdle evicts sessions with no request activity for this long;
+	// 0 disables idle eviction. Evicted sessions get a resume record: the
+	// client redials, presents its token, and replays its navigation paths
+	// onto fresh handles.
+	SessionIdle time.Duration
+	// SessionMem bounds one session's outstanding frame bytes (the
+	// estimated wire size of every node frame whose handle the session
+	// still holds); 0 means unlimited. Allocation past the bound fails with
+	// an error telling the client to release handles; batched responses are
+	// cut short with More=true instead, exactly like the handle bound.
+	SessionMem int64
+	// SessionOpTime bounds one session's cumulative op wall-clock time;
+	// 0 means unlimited. A session over the quota is evicted (resumably) by
+	// the eviction clock between its ops.
+	SessionOpTime time.Duration
+	// RetryAfter is the hint carried by busy responses; 0 means
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+	// ResumeWindow is how long an evicted or disconnected session's resume
+	// token stays valid; 0 means DefaultResumeWindow.
+	ResumeWindow time.Duration
+	// Clock overrides the session clock (tests); nil means time.Now.
+	Clock func() time.Time
 
-// track registers a live session and returns its deregistration func.
-func (s *Server) track(sess *session) func() {
-	s.sessMu.Lock()
-	if s.sessions == nil {
-		s.sessions = map[*session]struct{}{}
-	}
-	s.sessions[sess] = struct{}{}
-	s.sessMu.Unlock()
-	return func() {
-		s.sessMu.Lock()
-		delete(s.sessions, sess)
-		s.sessMu.Unlock()
-	}
+	sessMu    sync.Mutex
+	sessions  map[*session]struct{}
+	resumable map[string]*sessionRecord
+	draining  bool
+	listener  net.Listener
+	clockStop chan struct{}
+
+	// Session lifecycle counters, shared across session goroutines, the
+	// eviction clock and stats readers — atomic cells only (mixvet
+	// atomiccell enforces no plain access).
+	peak          atomic.Int64
+	memTotal      atomic.Int64
+	accepted      atomic.Int64
+	rejectedBusy  atomic.Int64
+	shed          atomic.Int64
+	idleEvicted   atomic.Int64
+	opTimeEvicted atomic.Int64
+	resumed       atomic.Int64
+	resumeExpired atomic.Int64
 }
 
 // LiveHandles reports the node handles currently held across all active
@@ -79,8 +126,14 @@ func (s *Server) LiveHandles() int {
 	return n
 }
 
-// NewServer wraps a mediator.
-func NewServer(med *mix.Mediator) *Server { return &Server{med: med} }
+// NewServer wraps a mediator and registers the server's session counters
+// with it, so Mediator.HealthReport surfaces admission/shed/resume activity
+// next to source health.
+func NewServer(med *mix.Mediator) *Server {
+	s := &Server{med: med}
+	med.SetSessionStats(s.SessionStats)
+	return s
+}
 
 func (s *Server) maxFrame() int {
 	if s.MaxFrame > 0 {
@@ -109,15 +162,44 @@ func (s *Server) logErr(err error) {
 	}
 }
 
-// Serve accepts connections until the listener closes. Each connection gets
-// its own session (handle table); sessions are independent. Per-connection
-// failures are reported through ErrorLog.
+// Serve accepts connections until the listener closes or Shutdown is
+// called (then it returns ErrServerClosed). Each connection gets its own
+// session (handle table); sessions are independent. Temporary accept
+// failures (EMFILE, ECONNABORTED) are retried with capped exponential
+// backoff instead of killing the server — one transient fd-exhaustion spike
+// must not take every live session down with it. Per-connection failures
+// are reported through ErrorLog.
 func (s *Server) Serve(l net.Listener) error {
+	s.sessMu.Lock()
+	if s.draining {
+		s.sessMu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	s.sessMu.Unlock()
+	var delay time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if s.isDraining() {
+				return ErrServerClosed
+			}
+			if isTemporaryNetErr(err) {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else {
+					delay *= 2
+				}
+				if delay > time.Second {
+					delay = time.Second
+				}
+				s.logErr(fmt.Errorf("wire: accept: %v; retrying in %v", err, delay))
+				time.Sleep(delay)
+				continue
+			}
 			return err
 		}
+		delay = 0
 		go func() {
 			defer conn.Close()
 			if err := s.ServeConn(conn); err != nil {
@@ -131,16 +213,34 @@ func (s *Server) Serve(l net.Listener) error {
 // net.Pipe). It returns nil when the peer closes cleanly and the terminal
 // error otherwise. Oversized request frames are answered with an error
 // response and the session continues.
+//
+// Under session limits, the first request is the admission point: a resume
+// op re-attaches an evicted session's record, anything else is admitted
+// fresh if capacity (after shedding) allows, and a rejected session gets
+// one typed busy response before the connection closes.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
 	sess := &session{
 		med:        s.med,
-		nodes:      map[int64]*mix.Node{},
+		srv:        s,
+		nodes:      map[int64]sessEntry{},
 		maxHandles: s.maxHandles(),
 		maxBatch:   s.maxBatch(),
 		maxFrame:   s.maxFrame(),
 	}
-	defer s.track(sess)()
-	in := bufio.NewReaderSize(conn, frameBufSize)
+	if c, ok := conn.(io.Closer); ok {
+		sess.closer = c
+	}
+	limits := s.limitsOn()
+	if limits {
+		sess.memQuota = s.SessionMem
+		sess.touch(s.now())
+		s.startClock()
+	} else {
+		// Unlimited mode: tracked from the first byte, exactly as before.
+		s.register(sess)
+	}
+	defer s.finish(sess)
+	in := bufio.NewReaderSize(conn, sessBufSize)
 	out := bufio.NewWriter(conn)
 	enc := json.NewEncoder(out)
 	reply := func(resp Response) error {
@@ -171,6 +271,20 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 		var resp Response
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = Response{OK: false, Error: "malformed request: " + err.Error()}
+		} else if limits {
+			if !sess.admitted {
+				if !s.admit(sess, &req) {
+					s.rejectedBusy.Add(1)
+					if rerr := reply(s.busyResponse(req.ID)); rerr != nil {
+						return rerr
+					}
+					return nil // rejected: drop the connection
+				}
+				// The freshly minted (or resumed) token rides on this
+				// session's first response.
+				sess.tokenPending = true
+			}
+			resp = s.serveReq(sess, req)
 		} else {
 			resp = sess.handle(req)
 		}
@@ -178,6 +292,10 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 			// Piggyback the mediator's data version so client node caches
 			// validate for free on every successful round trip.
 			resp.DataVersion = s.med.DataVersion()
+			if sess.tokenPending {
+				resp.Token = sess.token
+				sess.tokenPending = false
+			}
 		}
 		if err := reply(resp); err != nil {
 			return err
@@ -187,19 +305,71 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 
 // session is one connection's state: the handle table associating client
 // handles with mediator-side nodes (the thin-client contract of Section 2).
-// The table is bounded; clients release handles with the close op.
+// The table is bounded; clients release handles with the close op. Under
+// session limits the table is additionally bounded in estimated frame bytes
+// (memQuota), and the session carries its admission state: the resume
+// token, activity/op-time accounting the eviction clock reads, and the
+// in-flight guard that keeps shedding away from active ops.
 type session struct {
 	med        *mix.Mediator
+	srv        *Server
 	maxHandles int
 	maxBatch   int
 	maxFrame   int
+	memQuota   int64
+	closer     io.Closer
 
-	mu     sync.Mutex
-	nodes  map[int64]*mix.Node
-	nextID int64
+	// Admission state, written only by the session's own serving goroutine
+	// (token/resumes additionally under srv.sessMu at admission, where the
+	// eviction clock reads them; retired is guarded by srv.sessMu).
+	token        string
+	admitted     bool
+	tokenPending bool
+	resumes      int64
+	retired      bool
+
+	// Cross-goroutine accounting cells: the serving goroutine writes, the
+	// eviction clock and shedder read.
+	lastActive atomic.Int64 // unix nanos of the last request boundary
+	inflight   atomic.Int64
+	opNanos    atomic.Int64
+
+	mu       sync.Mutex
+	nodes    map[int64]sessEntry
+	nextID   int64
+	memBytes int64
 }
 
-func (s *session) put(n *mix.Node) (int64, bool, error) {
+// sessEntry is one held handle plus its estimated outstanding frame bytes,
+// credited back on release.
+type sessEntry struct {
+	n    *mix.Node
+	cost int64
+}
+
+func (s *session) touch(t time.Time) { s.lastActive.Store(t.UnixNano()) }
+
+func (s *session) lastActiveTime() time.Time { return time.Unix(0, s.lastActive.Load()) }
+
+// memNow reads the session's outstanding frame bytes.
+func (s *session) memNow() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memBytes
+}
+
+// drainMem zeroes the session's memory accounting at teardown and returns
+// what was outstanding, so the server total reconciles exactly once.
+func (s *session) drainMem() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.memBytes
+	s.memBytes = 0
+	s.nodes = map[int64]sessEntry{}
+	return v
+}
+
+func (s *session) put(n *mix.Node, cost int64) (int64, bool, error) {
 	if n == nil {
 		return 0, false, nil
 	}
@@ -208,25 +378,39 @@ func (s *session) put(n *mix.Node) (int64, bool, error) {
 	if len(s.nodes) >= s.maxHandles {
 		return 0, false, fmt.Errorf("session handle limit %d reached: release handles (close op / RemoteNode.Release / cursor Close)", s.maxHandles)
 	}
+	if s.memQuota > 0 && s.memBytes+cost > s.memQuota {
+		return 0, false, fmt.Errorf("session memory quota %d bytes reached: release handles (close op / RemoteNode.Release / cursor Close)", s.memQuota)
+	}
 	s.nextID++
-	s.nodes[s.nextID] = n
+	s.nodes[s.nextID] = sessEntry{n: n, cost: cost}
+	s.memBytes += cost
+	if s.srv != nil {
+		s.srv.memTotal.Add(cost)
+	}
 	return s.nextID, true, nil
 }
 
 func (s *session) get(h int64) (*mix.Node, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n, ok := s.nodes[h]
+	e, ok := s.nodes[h]
 	if !ok {
 		return nil, fmt.Errorf("unknown handle %d", h)
 	}
-	return n, nil
+	return e.n, nil
 }
 
 func (s *session) release(h int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.nodes, h)
+	e, ok := s.nodes[h]
+	if ok {
+		delete(s.nodes, h)
+		s.memBytes -= e.cost
+	}
+	s.mu.Unlock()
+	if ok && s.srv != nil {
+		s.srv.memTotal.Add(-e.cost)
+	}
 }
 
 // handleCount reports the live handle count (diagnostics/tests).
@@ -249,7 +433,15 @@ func (s *session) handle(req Request) Response {
 		return Response{ID: req.ID, OK: false, Error: err.Error()}
 	}
 	nodeResp := func(n *mix.Node) Response {
-		h, ok, err := s.put(n)
+		var cost int64
+		if n != nil {
+			f := NodeFrame{Label: n.Label(), NodeID: n.ID()}
+			if v, isLeaf := n.Value(); isLeaf {
+				f.Value = v
+			}
+			cost = int64(frameSize(f))
+		}
+		h, ok, err := s.put(n, cost)
 		if err != nil {
 			return fail(err)
 		}
@@ -269,6 +461,13 @@ func (s *session) handle(req Request) Response {
 
 	switch req.Op {
 	case "ping":
+		return resp
+	case "resume":
+		// Idempotent: admission (the session's first request) already did
+		// the re-attach work; on an admitted session the op just confirms
+		// the token. On a server without session limits it is a no-op
+		// carrying no token, telling the client to drop its stale one.
+		resp.Token = s.token
 		return resp
 	case "open":
 		doc, err := s.med.Open(req.View)
@@ -415,7 +614,7 @@ func (fa *frameAppender) add(f NodeFrame) {
 
 // batchResp cuts one children/scan batch from next. Frames accumulate until
 // the client's Max, the server's MaxBatch, the frame-size budget, or the
-// handle table ends the batch. A budget or handle-table cut ships a partial
+// handle table or session memory quota ends the batch. A budget or handle-table cut ships a partial
 // batch with More=true — the unshipped node holds no handle and the client
 // re-derives it in the next batch — and only a batch that cannot fit a
 // single frame fails. A batch ended by Max peeks one node ahead so More is
@@ -447,7 +646,7 @@ func (s *session) batchResp(req Request, next func() *mix.Node) Response {
 			resp.More = true
 			return resp
 		}
-		h, _, err := s.put(n)
+		h, _, err := s.put(n, int64(frameSize(f)))
 		if err != nil {
 			if len(resp.Frames) > 0 {
 				resp.More = true

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"mix/internal/cache"
@@ -106,6 +107,11 @@ type Mediator struct {
 	// when plan caching is off.
 	rwCache   *rewrite.Cache
 	planCache *engine.PlanCache
+
+	// sessionStats snapshots the serving front end's session counters when
+	// a wire server is attached (SetSessionStats); nil otherwise.
+	sessMu       sync.Mutex
+	sessionStats func() SessionStats
 }
 
 // View is a named virtual XML view over the sources.
@@ -517,6 +523,68 @@ func (m *Mediator) engineOpts() engine.Options {
 // Health reports per-source availability (circuit-breaker state of remote
 // mediator sources); see source.Catalog.Health.
 func (m *Mediator) Health() map[string]source.Health { return m.cat.Health() }
+
+// SessionStats counts the serving front end's session lifecycle: admission,
+// busy rejections, shedding and eviction, token resumes, and outstanding
+// session memory. Populated when a wire server is attached to the mediator
+// (wire.NewServer registers its counters via SetSessionStats); all-zero
+// otherwise, and the shed/evicted/busy counters stay zero while the server
+// runs without session limits.
+type SessionStats struct {
+	// Live/Peak are the current and high-water admitted session counts.
+	Live, Peak int64
+	// Accepted counts admissions; RejectedBusy counts typed busy
+	// rejections (each is one connection turned away, not one client —
+	// clients retry with backoff).
+	Accepted, RejectedBusy int64
+	// Shed counts sessions evicted to admit new ones under pressure;
+	// IdleEvicted and OpTimeEvicted count eviction-clock evictions. All
+	// three leave resumable records behind.
+	Shed, IdleEvicted, OpTimeEvicted int64
+	// Resumed counts successful token resumes; ResumeExpired counts resume
+	// attempts whose token was unknown or past the resume window;
+	// Resumable is the current parked-record count.
+	Resumed, ResumeExpired, Resumable int64
+	// MemBytes is the outstanding frame bytes across all live sessions'
+	// handle tables.
+	MemBytes int64
+}
+
+// HealthReport aggregates per-source availability with the session-serving
+// front end's counters — the one snapshot an operator (or a mediator
+// querying this mediator) needs to see whether the endpoint is degrading
+// gracefully: which sources are reachable, and how hard admission control
+// is working.
+type HealthReport struct {
+	Sources  map[string]source.Health
+	Sessions SessionStats
+}
+
+// SetSessionStats registers the session-counter snapshot function of the
+// serving front end (wire.NewServer calls this). The last registration
+// wins, matching one serving endpoint per mediator process.
+func (m *Mediator) SetSessionStats(fn func() SessionStats) {
+	m.sessMu.Lock()
+	m.sessionStats = fn
+	m.sessMu.Unlock()
+}
+
+// SessionStats snapshots the attached server's session counters; zero when
+// no server is attached.
+func (m *Mediator) SessionStats() SessionStats {
+	m.sessMu.Lock()
+	fn := m.sessionStats
+	m.sessMu.Unlock()
+	if fn == nil {
+		return SessionStats{}
+	}
+	return fn()
+}
+
+// HealthReport combines Health with the session counters.
+func (m *Mediator) HealthReport() HealthReport {
+	return HealthReport{Sources: m.cat.Health(), Sessions: m.SessionStats()}
+}
 
 // DataVersion is a monotonic counter covering everything that can change an
 // answer served by this mediator: source registrations and every relational

@@ -1,10 +1,12 @@
 // Command mixbench regenerates the performance experiments of
-// EXPERIMENTS.md (E10-E14): the measured counterparts of the paper's
+// EXPERIMENTS.md (E10-E14, E19): the measured counterparts of the paper's
 // qualitative claims about lazy evaluation, composition optimization,
-// decontextualization, the stateless group-by, and the rewrite stages.
+// decontextualization, the stateless group-by, the rewrite stages, and the
+// vectorized execution path with its binary wire codec.
 //
-//	mixbench                  # run everything at default scale
-//	mixbench -exp lazy        # one experiment
+//	mixbench                      # run everything at default scale
+//	mixbench -exp lazy            # one experiment
+//	mixbench -exp vector -check   # E19, gated (CI smoke), writes BENCH_vector.json
 //	mixbench -n 2000 -k 1,10,100
 package main
 
@@ -20,11 +22,14 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: lazy|compose|decontext|gby|ablate|all")
+		exp        = flag.String("exp", "all", "experiment: lazy|compose|decontext|gby|ablate|vector|all")
 		sizes      = flag.String("n", "100,1000", "comma-separated customer counts")
 		ordersPer  = flag.Int("orders", 5, "orders per customer")
 		browseKs   = flag.String("k", "1,10,100", "comma-separated browse depths (lazy experiment)")
 		thresholds = flag.String("t", "50000,90000,99000", "selection thresholds (composition experiment)")
+		nJoin      = flag.Int("join-n", 1500, "rows per join side (vector experiment)")
+		runs       = flag.Int("runs", 3, "repetitions per microbench timing (vector experiment)")
+		check      = flag.Bool("check", false, "fail unless the vector experiment meets its speedup and byte gates")
 	)
 	flag.Parse()
 
@@ -48,6 +53,14 @@ func main() {
 	})
 	run("gby", func() experiment.Table { return experiment.GroupBy(ns, *ordersPer) })
 	run("ablate", func() experiment.Table { return experiment.Ablation(ns[len(ns)-1]) })
+	if *exp == "all" || *exp == "vector" {
+		table, result := experiment.Vectorized(*nJoin, *runs)
+		fmt.Println(table)
+		fail(experiment.WriteVectorJSON("BENCH_vector.json", fmt.Sprintf("%d rows per join side", *nJoin), result))
+		if *check {
+			fail(result.Check())
+		}
+	}
 }
 
 func parseInts(s string) ([]int, error) {

@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"mix"
+	"mix/internal/wire"
 	"mix/internal/workload"
 )
 
@@ -33,10 +35,19 @@ func main() {
 		trace   = flag.Bool("trace", false, "print every rewrite step (the paper's Figures 14-21, live)")
 		planCC  = flag.Int("plan-cache", 0, "memoized plans per pipeline stage (0 = plan caching off)")
 		srcCC   = flag.Int("source-cache", 0, "memoized relational result sets (0 = result caching off)")
+		batchEx = flag.Int("batch-exec", 0, "columnar batch window for CPU-bound operators (0/1 = tuple-at-a-time)")
+		pathIdx = flag.Bool("path-index", false, "dataguide label-path index for getD over local XML sources")
+		remote  = flag.String("remote", "", "run against a mixserve at this address instead of in-process")
+		binWire = flag.Bool("binary-wire", false, "negotiate the binary wire codec (remote mode)")
 	)
 	flag.Parse()
 
-	med := mix.NewWith(mix.Config{PlanCache: *planCC, SourceCache: *srcCC})
+	if *remote != "" {
+		runRemote(*remote, *binWire, *stats, readQuery())
+		return
+	}
+
+	med := mix.NewWith(mix.Config{PlanCache: *planCC, SourceCache: *srcCC, BatchExec: *batchEx, PathIndex: *pathIdx})
 	switch *data {
 	case "paper":
 		med.AddRelationalSource(workload.PaperDB())
@@ -56,15 +67,7 @@ func main() {
 		fail(err)
 	}
 
-	query := strings.Join(flag.Args(), " ")
-	if strings.TrimSpace(query) == "" {
-		input, err := io.ReadAll(os.Stdin)
-		fail(err)
-		query = string(input)
-	}
-	if strings.TrimSpace(query) == "" {
-		fail(fmt.Errorf("no query given (argument or stdin)"))
-	}
+	query := readQuery()
 
 	if *trace {
 		steps, executable, err := med.ExplainTrace(query)
@@ -117,6 +120,56 @@ func main() {
 	}
 	if *metrics {
 		fmt.Fprintf(os.Stderr, "-- mediator work: %s\n", m)
+	}
+}
+
+func readQuery() string {
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		input, err := io.ReadAll(os.Stdin)
+		fail(err)
+		query = string(input)
+	}
+	if strings.TrimSpace(query) == "" {
+		fail(fmt.Errorf("no query given (argument or stdin)"))
+	}
+	return query
+}
+
+// runRemote runs the query against a mixserve over the wire protocol and, with
+// -stats, prints the client's round-trip and bytes-on-wire counters — the
+// observable half of the binary-codec experiment.
+func runRemote(addr string, binWire, stats bool, query string) {
+	c, err := wire.DialConfig(addr, wire.ClientConfig{BinaryWire: binWire})
+	fail(err)
+	defer c.Close()
+	root, err := c.Query(query)
+	fail(err)
+	if root != nil {
+		xml, err := root.Materialize()
+		fail(err)
+		fmt.Println(xml)
+		fail(root.Release())
+	}
+	if stats {
+		shipped, received, err := c.Stats()
+		fail(err)
+		fmt.Fprintf(os.Stderr, "-- %d queries to sources, %d tuples shipped\n", received, shipped)
+		st := c.WireStats()
+		codec := "json"
+		if st.BinaryWire {
+			codec = "binary"
+		}
+		fmt.Fprintf(os.Stderr, "-- wire: %d round trips, %d B sent, %d B received (%s codec)\n",
+			st.RequestsSent, st.BytesSent, st.BytesRecv, codec)
+		ops := make([]string, 0, len(st.OpBytesSent))
+		for op := range st.OpBytesSent {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			fmt.Fprintf(os.Stderr, "--   %-12s %7d B sent %9d B received\n", op, st.OpBytesSent[op], st.OpBytesRecv[op])
+		}
 	}
 }
 

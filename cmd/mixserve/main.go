@@ -44,6 +44,9 @@ func main() {
 		exchangeBuf = flag.Int("exchange-buffer", 0, "exchange operator tuple buffer (0 = engine default)")
 		planCache   = flag.Int("plan-cache", 0, "memoized plans per pipeline stage (0 = plan caching off)")
 		srcCache    = flag.Int("source-cache", 0, "memoized relational result sets (0 = result caching off)")
+		batchExec   = flag.Int("batch-exec", 0, "columnar batch window for CPU-bound operators (0/1 = tuple-at-a-time)")
+		pathIndex   = flag.Bool("path-index", false, "dataguide label-path index for getD over local XML sources")
+		binaryWire  = flag.Bool("binary-wire", false, "accept the negotiated binary wire codec from capable clients")
 
 		maxSessions = flag.Int("max-sessions", 0, "admitted session cap; above it new connections get a typed busy response (0 = unlimited)")
 		sessionIdle = flag.Duration("session-idle", 0, "evict sessions idle longer than this, leaving a resumable token (0 = never)")
@@ -59,6 +62,8 @@ func main() {
 		ExchangeBuffer: *exchangeBuf,
 		PlanCache:      *planCache,
 		SourceCache:    *srcCache,
+		BatchExec:      *batchExec,
+		PathIndex:      *pathIndex,
 	})
 	med.AddRelationalSource(workload.ScaleDB("db1", *n, 5, 42))
 	fail(med.AliasSource("&root1", "&db1.customer"))
@@ -77,6 +82,7 @@ func main() {
 	srv.SessionMem = *sessionMem
 	srv.SessionOpTime = *sessionOp
 	srv.RetryAfter = *retryAfter
+	srv.BinaryWire = *binaryWire
 	srv.ErrorLog = func(err error) { fmt.Fprintln(os.Stderr, "mixserve:", err) }
 
 	// Serve in a goroutine so the main goroutine can watch for signals; a

@@ -7,6 +7,12 @@
 // production — exactly the class of bug the budget helpers exist to make
 // impossible.
 //
+// The binary wire codec gets the same discipline on its encode path:
+// appendNodeFrame serializes one frame of an already budget-checked
+// response, so it may only be called from encodeResponse. Calling it from
+// anywhere else would let a batch reach the wire without ever passing
+// through the appender — the binary-era spelling of the raw-append bug.
+//
 // The check applies to packages named "wire" (and their test packages).
 // Composite literals in _test.go files are exempt: fixture responses are
 // data, not batch construction.
@@ -45,6 +51,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if allowedRecv[fn.Recv] {
 			continue
 		}
+		fromEncoder := fn.Recv == "" && (fn.Name == "encodeResponse" || strings.HasPrefix(fn.Name, "encodeResponse."))
 		ast.Inspect(fn.Body, func(n ast.Node) bool {
 			switch s := n.(type) {
 			case *ast.CallExpr:
@@ -52,6 +59,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 					if isFramesSel(s.Args[0]) {
 						report(s.Pos(), "raw append to Frames bypasses the MaxFrame/MaxBatch budget; use the frameAppender helper")
 					}
+				}
+				if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "appendNodeFrame" && !fromEncoder {
+					report(s.Pos(), "appendNodeFrame outside encodeResponse serializes frames that never passed the budget appender")
 				}
 			case *ast.AssignStmt:
 				for i, l := range s.Lhs {

@@ -54,3 +54,25 @@ func rawOverwrite(resp *Response, frames []NodeFrame) {
 func fixture() Response {
 	return Response{OK: true, Frames: []NodeFrame{{Handle: 1}}}
 }
+
+// appendNodeFrame mirrors the binary codec's frame serializer: its frames
+// come from an already budget-checked response, so only encodeResponse may
+// call it.
+func appendNodeFrame(b []byte, f *NodeFrame) []byte {
+	b = append(b, byte(f.Handle))
+	return append(b, f.Label...)
+}
+
+func encodeResponse(b []byte, resp *Response) []byte {
+	for i := range resp.Frames {
+		b = appendNodeFrame(b, &resp.Frames[i]) // allowed: the one serializer call site
+	}
+	return b
+}
+
+func sneakyEncode(b []byte, frames []NodeFrame) []byte {
+	for i := range frames {
+		b = appendNodeFrame(b, &frames[i]) // want "appendNodeFrame outside encodeResponse serializes frames that never passed the budget appender"
+	}
+	return b
+}

@@ -334,6 +334,9 @@ func compileGetD(o *xmas.GetD, cat *source.Catalog) (compiledOp, error) {
 	path := o.Path
 	return func(ctx *Ctx) Cursor {
 		input := in(ctx)
+		if capw := ctx.batchCap(); capw > 0 {
+			return newVecGetD(ctx, input, o, schema, capw)
+		}
 		var cur Tuple
 		var matches func() (*Elem, bool)
 		return cursorFunc(func() (Tuple, bool, error) {
@@ -355,7 +358,7 @@ func compileGetD(o *xmas.GetD, cat *source.Catalog) (compiledOp, error) {
 				cur = t
 				switch v := t.MustGet(o.From).(type) {
 				case NodeVal:
-					matches = pathStream(v.E, path)
+					matches = ctx.pathMatches(v.E, path)
 				case ListVal:
 					// The rewrite rules (Table 2) produce paths like
 					// list.q over list-valued variables, treating the
@@ -368,6 +371,39 @@ func compileGetD(o *xmas.GetD, cat *source.Catalog) (compiledOp, error) {
 			}
 		})
 	}, nil
+}
+
+// pathMatches yields the elements pathStream would, but routes through the
+// catalog's dataguide label-path index when the execution enables it and the
+// element mirrors a registered source node (PathIndex is answer-preserving:
+// the guide returns exactly the walk's matches in document order). Wildcard
+// steps, constructed elements, virtual list nodes and unregistered trees
+// always walk.
+func (c *Ctx) pathMatches(root *Elem, path xmas.Path) func() (*Elem, bool) {
+	if c.opts.PathIndex && c.cat != nil && root != nil && root.src != nil &&
+		len(path) > 0 && !pathHasWildcard(path) {
+		if nodes, ok := c.cat.Descend(root.src, []string(path)); ok {
+			i := 0
+			return func() (*Elem, bool) {
+				if i >= len(nodes) {
+					return nil, false
+				}
+				n := nodes[i]
+				i++
+				return FromNode(n), true
+			}
+		}
+	}
+	return pathStream(root, path)
+}
+
+func pathHasWildcard(path xmas.Path) bool {
+	for _, s := range path {
+		if s == xmas.Wildcard {
+			return true
+		}
+	}
+	return false
 }
 
 // pathStream yields, in document order, every element reachable from root by
@@ -415,6 +451,9 @@ func compileSelect(o *xmas.Select, cat *source.Catalog) (compiledOp, error) {
 	cond := o.Cond
 	return func(ctx *Ctx) Cursor {
 		input := in(ctx)
+		if capw := ctx.batchCap(); capw > 0 {
+			return newVecSelect(input, cond, capw)
+		}
 		return cursorFunc(func() (Tuple, bool, error) {
 			for {
 				t, ok, err := input.Next()
@@ -485,6 +524,9 @@ func compileJoin(o *xmas.Join, cat *source.Catalog) (compiledOp, error) {
 			if ctx.exec.parallel() && (lAsync || rAsync) {
 				return newParHashJoin(ctx, left, right, schema, lv, rv, lAsync, rAsync)
 			}
+			if capw := ctx.batchCap(); capw > 0 {
+				return newVecHashJoin(ctx, left(ctx), func() Cursor { return right(ctx) }, schema, lv, rv, capw)
+			}
 			linput := left(ctx)
 			var table map[string][]Tuple
 			var matches []Tuple
@@ -530,6 +572,9 @@ func compileJoin(o *xmas.Join, cat *source.Catalog) (compiledOp, error) {
 	return func(ctx *Ctx) Cursor {
 		if ctx.exec.parallel() && (lAsync || rAsync) {
 			return newParNLJoin(ctx, left, right, schema, cond, lAsync, rAsync)
+		}
+		if capw := ctx.batchCap(); capw > 0 {
+			return newVecNLJoin(ctx, left(ctx), func() Cursor { return right(ctx) }, schema, cond, capw)
 		}
 		linput := left(ctx)
 		var rrows []Tuple
@@ -699,7 +744,12 @@ func stampElem(e *Elem, v xmas.Var) *Elem {
 
 // childList resolves a ChildSpec against a tuple into a lazy element list.
 func childList(spec xmas.ChildSpec, t Tuple) *LazyList[*Elem] {
-	val := t.MustGet(spec.V)
+	return childListOf(spec, t.MustGet(spec.V))
+}
+
+// childListOf resolves a ChildSpec against the bound value directly (the
+// vectorized operators hold values columnarly, not as tuples).
+func childListOf(spec xmas.ChildSpec, val Value) *LazyList[*Elem] {
 	if spec.Wrap {
 		if nv, ok := val.(NodeVal); ok {
 			return ListOf(stampElem(nv.E, spec.V))
@@ -733,6 +783,9 @@ func compileCrElt(o *xmas.CrElt, cat *source.Catalog) (compiledOp, error) {
 	schema := o.Schema()
 	return func(ctx *Ctx) Cursor {
 		input := in(ctx)
+		if capw := ctx.batchCap(); capw > 0 {
+			return newVecCrElt(input, o, schema, capw)
+		}
 		return cursorFunc(func() (Tuple, bool, error) {
 			t, ok, err := input.Next()
 			if err != nil || !ok {
@@ -769,6 +822,9 @@ func compileCat(o *xmas.Cat, cat *source.Catalog) (compiledOp, error) {
 			input = startExchange(ctx.exec, func() Cursor { return in(ctx) })
 		} else {
 			input = in(ctx)
+		}
+		if capw := ctx.batchCap(); capw > 0 {
+			return newVecCat(input, o, schema, capw)
 		}
 		return cursorFunc(func() (Tuple, bool, error) {
 			t, ok, err := input.Next()
@@ -947,6 +1003,9 @@ func compileApply(o *xmas.Apply, cat *source.Catalog) (compiledOp, error) {
 	schema := o.Schema()
 	return func(ctx *Ctx) Cursor {
 		input := in(ctx)
+		if capw := ctx.batchCap(); capw > 0 {
+			return newVecApply(ctx, input, o, nestedIn, collectVar, schema, capw)
+		}
 		return cursorFunc(func() (Tuple, bool, error) {
 			t, ok, err := input.Next()
 			if err != nil || !ok {
@@ -956,58 +1015,64 @@ func compileApply(o *xmas.Apply, cat *source.Catalog) (compiledOp, error) {
 			if !isSet {
 				return Tuple{}, false, fmt.Errorf("engine: apply input %s is not a set", o.InpVar)
 			}
-			nctx := ctx.withNested(o.InpVar, part)
-			var cur Cursor
-			seen := map[string]bool{}
-			var pending *LazyList[*Elem]
-			pendingIdx := 0
-			l := NewLazyList(func() (*Elem, bool) {
-				if cur == nil {
-					cur = nestedIn(nctx)
-				}
-				for {
-					// Drain a list-valued binding first (a nested query's
-					// result flattens into the collected sequence).
-					if pending != nil {
-						if e, ok := pending.Get(pendingIdx); ok {
-							pendingIdx++
-							e = stampElem(e, collectVar)
-							if e.ID != "" {
-								if seen[e.ID] {
-									continue
-								}
-								seen[e.ID] = true
-							}
-							return e, true
-						}
-						pending = nil
-					}
-					nt, ok, err := cur.Next()
-					if err != nil || !ok {
-						return nil, false
-					}
-					switch v := nt.MustGet(collectVar).(type) {
-					case NodeVal:
-						if v.E == nil {
-							continue
-						}
-						e := stampElem(v.E, collectVar)
-						if e.ID != "" {
-							if seen[e.ID] {
-								continue
-							}
-							seen[e.ID] = true
-						}
-						return e, true
-					case ListVal:
-						pending = v.L
-						pendingIdx = 0
-					}
-				}
-			})
-			return t.Extend(schema, ListVal{L: l}), true, nil
+			return t.Extend(schema, ListVal{L: applyList(ctx, o.InpVar, part, nestedIn, collectVar)}), true, nil
 		})
 	}, nil
+}
+
+// applyList evaluates the nested plan over one partition and collects the
+// bindings of the collect variable into a lazy, id-deduplicated element list
+// — the body shared by the scalar and vectorized apply.
+func applyList(ctx *Ctx, inpVar xmas.Var, part SetVal, nestedIn compiledOp, collectVar xmas.Var) *LazyList[*Elem] {
+	nctx := ctx.withNested(inpVar, part)
+	var cur Cursor
+	seen := map[string]bool{}
+	var pending *LazyList[*Elem]
+	pendingIdx := 0
+	return NewLazyList(func() (*Elem, bool) {
+		if cur == nil {
+			cur = nestedIn(nctx)
+		}
+		for {
+			// Drain a list-valued binding first (a nested query's
+			// result flattens into the collected sequence).
+			if pending != nil {
+				if e, ok := pending.Get(pendingIdx); ok {
+					pendingIdx++
+					e = stampElem(e, collectVar)
+					if e.ID != "" {
+						if seen[e.ID] {
+							continue
+						}
+						seen[e.ID] = true
+					}
+					return e, true
+				}
+				pending = nil
+			}
+			nt, ok, err := cur.Next()
+			if err != nil || !ok {
+				return nil, false
+			}
+			switch v := nt.MustGet(collectVar).(type) {
+			case NodeVal:
+				if v.E == nil {
+					continue
+				}
+				e := stampElem(v.E, collectVar)
+				if e.ID != "" {
+					if seen[e.ID] {
+						continue
+					}
+					seen[e.ID] = true
+				}
+				return e, true
+			case ListVal:
+				pending = v.L
+				pendingIdx = 0
+			}
+		}
+	})
 }
 
 // ---- ordering ----

@@ -87,10 +87,13 @@ func (m *Metrics) String() string {
 	return b.String()
 }
 
-// countingCursor increments a counter per delivered tuple.
+// countingCursor increments a counter per delivered tuple. It forwards the
+// batch face too (counting whole chunks), so metrics never force the
+// vectorized path back to per-tuple pulls.
 type countingCursor struct {
 	in Cursor
 	c  *atomic.Int64
+	bi *batchInput
 }
 
 func (cc *countingCursor) Next() (Tuple, bool, error) {
@@ -99,6 +102,17 @@ func (cc *countingCursor) Next() (Tuple, bool, error) {
 		cc.c.Add(1)
 	}
 	return t, ok, err
+}
+
+func (cc *countingCursor) NextBatch(max int) (Batch, bool, error) {
+	if cc.bi == nil {
+		cc.bi = &batchInput{in: cc.in}
+	}
+	b, ok, err := cc.bi.pull(max)
+	if ok {
+		cc.c.Add(int64(b.Len()))
+	}
+	return b, ok, err
 }
 
 // Close forwards to the wrapped cursor so force-close cascades through

@@ -40,6 +40,17 @@ type Options struct {
 	// DefaultExchangeBuffer; the knob matters most when a join's probe side
 	// should keep streaming while its build side drains.
 	ExchangeBuffer int
+	// BatchExec caps the columnar batch size of the vectorized operator
+	// path: select/join/cat/crElt/apply/getD move bindings in chunks of up
+	// to this many rows, growing 1→cap adaptively so the first answer still
+	// ships alone. 0 or 1 disables vectorization and reproduces the scalar
+	// demand-driven evaluation exactly.
+	BatchExec int
+	// PathIndex routes getD descendant steps over local XML sources through
+	// the catalog's dataguide label-path index (built lazily per document)
+	// instead of full-tree walks. Wildcard paths, constructed elements and
+	// remote sources always take the walking path.
+	PathIndex bool
 }
 
 // Program is a compiled XMAS plan, ready to run. Compilation resolves

@@ -42,6 +42,10 @@ type Elem struct {
 
 	leaf bool
 	kids *LazyList[*Elem]
+	// src is the source tree node this element mirrors (nil for constructed
+	// elements and virtual list nodes). The dataguide path index is keyed by
+	// node pointer, so only elements that remember their node can be probed.
+	src *xtree.Node
 }
 
 // NewLeaf builds a leaf element (its label is its value).
@@ -60,13 +64,14 @@ func NewElem(id, label string, kids *LazyList[*Elem]) *Elem {
 // navigations.
 func FromNode(n *xtree.Node) *Elem {
 	if n.IsLeaf() {
-		return &Elem{ID: string(n.ID), Label: n.Label, leaf: true}
+		return &Elem{ID: string(n.ID), Label: n.Label, leaf: true, src: n}
 	}
 	children := n.Children
 	i := 0
 	return &Elem{
 		ID:    string(n.ID),
 		Label: n.Label,
+		src:   n,
 		kids: NewLazyList(func() (*Elem, bool) {
 			if i >= len(children) {
 				return nil, false

@@ -1,0 +1,67 @@
+package rewrite_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mix/internal/engine"
+	"mix/internal/rewrite"
+	"mix/internal/workload"
+	"mix/internal/xmas"
+	"mix/internal/xmlio"
+)
+
+// TestRandomizedPlanEquivalenceVectorized replays the generator corpus with
+// the vectorized execution path and the dataguide path index switched on, at
+// several batch-window caps (including 2 and 3, which force mid-batch
+// boundaries everywhere). Every answer must be byte-identical to the scalar
+// walk-based baseline — the whole contract of the batch path: it may only
+// change how fast bindings move, never which bindings move or their order.
+func TestRandomizedPlanEquivalenceVectorized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020208))
+	const trials = 150
+	configs := []engine.Options{
+		{BatchExec: 2},
+		{BatchExec: 64},
+		{BatchExec: 3, PathIndex: true},
+		{PathIndex: true},
+	}
+	executed := 0
+	for trial := 0; trial < trials; trial++ {
+		plan := workload.RandomPlan(rng)
+		if err := xmas.Verify(plan); err != nil {
+			continue
+		}
+		opt, _, err := rewrite.Optimize(plan, rewrite.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: optimize: %v\n%s", trial, err, xmas.Format(plan))
+		}
+		baseline := serializePlan(t, trial, opt)
+		for ci, opts := range configs {
+			got := serializePlanWith(t, trial, opt, opts)
+			if got != baseline {
+				t.Fatalf("trial %d config %d (%+v): vectorized answer diverged\nplan:\n%s\ngot:\n%s\nwant:\n%s",
+					trial, ci, opts, xmas.Format(opt), got, baseline)
+			}
+		}
+		executed++
+	}
+	if executed < 100 {
+		t.Fatalf("only %d/%d generated plans executed; generator skew?", executed, trials)
+	}
+}
+
+func serializePlanWith(t *testing.T, trial int, plan xmas.Op, opts engine.Options) string {
+	t.Helper()
+	cat, _ := workload.PaperCatalog()
+	prog, err := engine.CompileWith(plan, cat, opts)
+	if err != nil {
+		t.Fatalf("trial %d: compile (%+v): %v\nplan:\n%s", trial, opts, err, xmas.Format(plan))
+	}
+	res := prog.Run()
+	m := res.Materialize()
+	if err := res.Err(); err != nil {
+		t.Fatalf("trial %d: run (%+v): %v\nplan:\n%s", trial, opts, err, xmas.Format(plan))
+	}
+	return xmlio.Serialize(m)
+}

@@ -90,6 +90,42 @@ type AsyncOpener interface {
 	OpenAsync(batchSize int, prefetch bool) ElemCursor
 }
 
+// PathIndexed is implemented by source documents whose tree supports a
+// dataguide label-path index (local XML documents). Guide builds the index
+// lazily on first use; the tree must be immutable while registered, which
+// AddXMLDoc documents already require (navigation hands out the very nodes).
+// Wrapper views over relations rebuild fresh nodes per scan and remote
+// documents never ship whole trees, so neither implements it.
+type PathIndexed interface {
+	Guide() *xtree.Dataguide
+}
+
+// Descend answers a getD-style descendant probe from n via the dataguide of
+// whichever registered document's tree contains n. The second result is
+// false when no registered guide covers n (or the path has no indexable
+// form) and the caller must walk. Matching is in document order, identical
+// to the walk's.
+func (c *Catalog) Descend(n *xtree.Node, path []string) ([]*xtree.Node, bool) {
+	c.mu.RLock()
+	docs := make([]Doc, 0, len(c.docs))
+	for _, d := range c.docs {
+		docs = append(docs, d)
+	}
+	c.mu.RUnlock()
+	for _, d := range docs {
+		pi, ok := d.(PathIndexed)
+		if !ok {
+			continue
+		}
+		g := pi.Guide()
+		if !g.Contains(n) {
+			continue
+		}
+		return g.Descend(n, path)
+	}
+	return nil, false
+}
+
 // RelBinding records that a document id is a wrapper view of a relation.
 type RelBinding struct {
 	Server   string
@@ -320,12 +356,24 @@ func (c *Catalog) ResetStats() {
 type xmlDoc struct {
 	id   string
 	root *xtree.Node
+
+	guideOnce sync.Once
+	guide     *xtree.Dataguide
 }
 
 func (d *xmlDoc) RootID() string { return d.id }
 
 func (d *xmlDoc) Open() (ElemCursor, error) {
 	return &sliceCursor{items: d.root.Children}, nil
+}
+
+// Guide builds the document's dataguide on first use (one preorder pass over
+// a tree that is already in mediator memory). Re-registering a document under
+// the same id creates a fresh xmlDoc — and hence a fresh guide — so a guide
+// never outlives the tree snapshot it indexed.
+func (d *xmlDoc) Guide() *xtree.Dataguide {
+	d.guideOnce.Do(func() { d.guide = xtree.BuildDataguide(d.root) })
+	return d.guide
 }
 
 type sliceCursor struct {

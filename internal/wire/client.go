@@ -142,6 +142,15 @@ type ClientConfig struct {
 	// cache entirely: every walk fetches from the wire, byte-identical to
 	// prior behaviour.
 	NodeCache int
+	// BinaryWire proposes the length-prefixed binary codec (see codec.go):
+	// every JSON request on a not-yet-negotiated connection carries
+	// Codec "bin", and when the server echoes it on an OK response both
+	// sides switch to binary frames for the rest of the connection. A
+	// JSON-only server ignores the proposal and the connection stays on
+	// JSON, so the knob is safe against old peers. Off (the default) the
+	// Codec field is never sent and the wire bytes are identical to prior
+	// releases. Negotiation restarts from JSON on every reconnect.
+	BinaryWire bool
 }
 
 func (cfg *ClientConfig) normalize() {
@@ -238,6 +247,11 @@ type Client struct {
 	gen    int64 // connection generation; bumped on reconnect
 	broken bool
 	closed bool
+	// binary marks a connection that negotiated the binary codec (see
+	// ClientConfig.BinaryWire); reset on reconnect, so every connection
+	// renegotiates from JSON. binBuf is the reused binary encode buffer.
+	binary bool
+	binBuf []byte
 
 	// pendingRelease holds handles of consumed batch frames awaiting
 	// piggybacked release on the next request (Request.Release) — releasing
@@ -260,6 +274,27 @@ type Client struct {
 	framesBatched  int64 // frames across those batches
 	busyRetries    int64 // retries consumed by server-busy rejections
 	resumes        int64 // successful session-token resumes
+
+	// Bytes-on-wire accounting, framing included (the JSON newline or the
+	// binary length prefix): totals plus a per-op breakdown, counted at the
+	// write and read points so codec comparisons measure real wire traffic.
+	bytesSent   int64
+	bytesRecv   int64
+	opBytesSent map[string]int64
+	opBytesRecv map[string]int64
+}
+
+// noteBytesLocked charges one exchange's wire bytes (framing included) to
+// the totals and the per-op breakdown (c.mu held).
+func (c *Client) noteBytesLocked(op string, sent, recv int) {
+	c.bytesSent += int64(sent)
+	c.bytesRecv += int64(recv)
+	if c.opBytesSent == nil {
+		c.opBytesSent = make(map[string]int64)
+		c.opBytesRecv = make(map[string]int64)
+	}
+	c.opBytesSent[op] += int64(sent)
+	c.opBytesRecv[op] += int64(recv)
 }
 
 // WireStats are the client's round-trip counters. Benchmarks and tests
@@ -282,6 +317,14 @@ type WireStats struct {
 	NodeCacheMisses      int64
 	NodeCacheValidations int64
 	NodeCacheEvictions   int64
+	// Bytes on the wire, framing included: totals plus per-op breakdowns
+	// keyed by protocol op. BinaryWire reports whether the current
+	// connection negotiated the binary codec.
+	BytesSent   int64
+	BytesRecv   int64
+	OpBytesSent map[string]int64
+	OpBytesRecv map[string]int64
+	BinaryWire  bool
 }
 
 // WireStats snapshots the round-trip counters.
@@ -294,6 +337,19 @@ func (c *Client) WireStats() WireStats {
 		Redials:        c.redials,
 		BusyRetries:    c.busyRetries,
 		Resumes:        c.resumes,
+		BytesSent:      c.bytesSent,
+		BytesRecv:      c.bytesRecv,
+		BinaryWire:     c.binary,
+	}
+	if len(c.opBytesSent) > 0 {
+		st.OpBytesSent = make(map[string]int64, len(c.opBytesSent))
+		st.OpBytesRecv = make(map[string]int64, len(c.opBytesRecv))
+		for op, n := range c.opBytesSent {
+			st.OpBytesSent[op] = n
+		}
+		for op, n := range c.opBytesRecv {
+			st.OpBytesRecv[op] = n
+		}
 	}
 	c.mu.Unlock()
 	if c.cache != nil {
@@ -411,6 +467,7 @@ func (c *Client) reconnectLocked() error {
 	c.out = bufio.NewWriter(conn)
 	c.in = bufio.NewReaderSize(conn, frameBufSize)
 	c.broken = false
+	c.binary = false // codec negotiation restarts from JSON per connection
 	c.gen++
 	c.redials++
 	c.pendingRelease = nil // old handles died with the old session
@@ -444,6 +501,11 @@ func (c *Client) reconnectLocked() error {
 func (c *Client) resumeLocked() error {
 	c.next++
 	req := Request{ID: c.next, Op: "resume", Token: c.sessionToken}
+	if c.cfg.BinaryWire {
+		// The resume is the new connection's first request, so it doubles as
+		// the codec proposal (reconnectLocked just reset c.binary).
+		req.Codec = codecBin
+	}
 	payload, err := json.Marshal(&req)
 	if err != nil {
 		return err
@@ -462,11 +524,13 @@ func (c *Client) resumeLocked() error {
 		return &TransportError{Err: err}
 	}
 	c.reqsSent++
+	c.noteBytesLocked(req.Op, len(payload), 0)
 	line, err := readFrame(c.in, c.cfg.MaxFrame)
 	if err != nil {
 		c.broken = true
 		return &TransportError{Err: err}
 	}
+	c.noteBytesLocked(req.Op, 0, len(line)+1)
 	var resp Response
 	if err := json.Unmarshal(line, &resp); err != nil {
 		c.broken = true
@@ -489,6 +553,9 @@ func (c *Client) resumeLocked() error {
 	if !resp.OK {
 		c.sessionToken = ""
 		return nil
+	}
+	if resp.Codec == codecBin {
+		c.binary = true // negotiated on the resume; binary from here on
 	}
 	c.sessionToken = resp.Token
 	if resp.Token != "" {
@@ -543,7 +610,20 @@ func (c *Client) roundTrip(req Request, wantGen int64) (Response, int64, error) 
 		c.pendingRelease = nil
 		req.Release = piggyback
 	}
-	payload, err := json.Marshal(&req)
+	if !c.binary && c.cfg.BinaryWire {
+		// Propose the binary codec on every JSON request until the server
+		// accepts one (see ClientConfig.BinaryWire); a JSON-only server
+		// ignores the field and the connection stays as it is.
+		req.Codec = codecBin
+	}
+	encode := func() ([]byte, error) {
+		if c.binary {
+			c.binBuf = encodeRequest(c.binBuf[:0], &req)
+			return c.binBuf, nil
+		}
+		return json.Marshal(&req)
+	}
+	payload, err := encode()
 	if err != nil {
 		c.pendingRelease = piggyback
 		return Response{}, 0, err
@@ -553,7 +633,7 @@ func (c *Client) roundTrip(req Request, wantGen int64) (Response, int64, error) 
 		// requeue it and send the op bare.
 		c.pendingRelease = piggyback
 		req.Release = nil
-		payload, err = json.Marshal(&req)
+		payload, err = encode()
 		if err != nil {
 			return Response{}, 0, err
 		}
@@ -561,34 +641,64 @@ func (c *Client) roundTrip(req Request, wantGen int64) (Response, int64, error) 
 	if len(payload) > c.cfg.MaxFrame {
 		return Response{}, 0, &FrameTooLargeError{Limit: c.cfg.MaxFrame}
 	}
-	payload = append(payload, '\n')
 	if d, ok := c.conn.(deadliner); ok && c.cfg.OpTimeout > 0 {
 		_ = d.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
 		defer d.SetDeadline(time.Time{})
 	}
-	if _, err := c.out.Write(payload); err != nil {
-		c.broken = true
-		return Response{}, 0, &TransportError{Err: err}
+	var sentBytes int
+	if c.binary {
+		sentBytes = binLenSize + len(payload)
+		if err := writeBinFrame(c.out, payload); err != nil {
+			c.broken = true
+			return Response{}, 0, &TransportError{Err: err}
+		}
+	} else {
+		payload = append(payload, '\n')
+		sentBytes = len(payload)
+		if _, err := c.out.Write(payload); err != nil {
+			c.broken = true
+			return Response{}, 0, &TransportError{Err: err}
+		}
 	}
 	if err := c.out.Flush(); err != nil {
 		c.broken = true
 		return Response{}, 0, &TransportError{Err: err}
 	}
 	c.reqsSent++
-	line, err := readFrame(c.in, c.cfg.MaxFrame)
-	if err != nil {
-		var tooBig *FrameTooLargeError
-		if errors.As(err, &tooBig) {
-			// readFrame resynchronized the stream; session stays usable.
-			return Response{}, 0, tooBig
-		}
-		c.broken = true
-		return Response{}, 0, &TransportError{Err: err}
-	}
+	c.noteBytesLocked(req.Op, sentBytes, 0)
 	var resp Response
-	if err := json.Unmarshal(line, &resp); err != nil {
-		c.broken = true
-		return Response{}, 0, &TransportError{Err: fmt.Errorf("garbled response: %w", err)}
+	if c.binary {
+		frame, err := readBinFrame(c.in, c.cfg.MaxFrame)
+		if err != nil {
+			var tooBig *FrameTooLargeError
+			if errors.As(err, &tooBig) {
+				// readBinFrame drained the payload; stream stays in sync.
+				return Response{}, 0, tooBig
+			}
+			c.broken = true
+			return Response{}, 0, &TransportError{Err: err}
+		}
+		c.noteBytesLocked(req.Op, 0, binLenSize+len(frame))
+		if resp, err = decodeResponse(frame); err != nil {
+			c.broken = true
+			return Response{}, 0, &TransportError{Err: fmt.Errorf("garbled response: %w", err)}
+		}
+	} else {
+		line, err := readFrame(c.in, c.cfg.MaxFrame)
+		if err != nil {
+			var tooBig *FrameTooLargeError
+			if errors.As(err, &tooBig) {
+				// readFrame resynchronized the stream; session stays usable.
+				return Response{}, 0, tooBig
+			}
+			c.broken = true
+			return Response{}, 0, &TransportError{Err: err}
+		}
+		c.noteBytesLocked(req.Op, 0, len(line)+1)
+		if err := json.Unmarshal(line, &resp); err != nil {
+			c.broken = true
+			return Response{}, 0, &TransportError{Err: fmt.Errorf("garbled response: %w", err)}
+		}
 	}
 	if resp.ID != req.ID {
 		c.broken = true
@@ -603,6 +713,12 @@ func (c *Client) roundTrip(req Request, wantGen int64) (Response, int64, error) 
 	}
 	if !resp.OK {
 		return Response{}, 0, &ServerError{Msg: resp.Error}
+	}
+	if resp.Codec == codecBin {
+		// The server accepted the codec proposal on this OK response and
+		// switched right after writing it; every later exchange on this
+		// connection is binary-framed.
+		c.binary = true
 	}
 	if resp.Token != "" {
 		// First response after admission on a session-limited server: hold

@@ -1,0 +1,514 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file is the negotiated binary wire codec: the same Request/Response
+// messages as the JSON protocol, encoded as tagged binary fields inside
+// length-prefixed frames. It swaps in beneath the framing layer — message
+// boundaries, MaxFrame budgets and the session/resume machinery are
+// untouched — and engages only after both peers agree via the Codec field
+// of an ordinary JSON exchange (see protocol.go), so a binary-capable peer
+// talking to an old one stays on JSON automatically.
+//
+// Layout: a frame is a big-endian uint32 payload length followed by the
+// payload. A payload is a message kind byte ('Q' request, 'R' response)
+// followed by tagged fields: one tag byte, then the field value — varints
+// for integers (zigzag for signed), length-prefixed bytes for strings.
+// Boolean fields carry no value; the tag's presence is the truth. Fields
+// with zero values are omitted, mirroring the JSON encoding's omitempty.
+
+// codecBin is the negotiated codec name carried in Request/Response.Codec.
+const codecBin = "bin"
+
+// binKindReq/binKindResp are the payload kind bytes.
+const (
+	binKindReq  = 'Q'
+	binKindResp = 'R'
+)
+
+// Request field tags.
+const (
+	reqTagID = iota + 1
+	reqTagOp
+	reqTagView
+	reqTagQuery
+	reqTagHandle
+	reqTagSkip
+	reqTagMax
+	reqTagDeep
+	reqTagRelease
+	reqTagToken
+	reqTagCodec
+)
+
+// Response field tags.
+const (
+	respTagID = iota + 1
+	respTagOK
+	respTagError
+	respTagBusy
+	respTagRetryAfterMs
+	respTagToken
+	respTagHandle
+	respTagNil
+	respTagLabel
+	respTagValue
+	respTagIsLeaf
+	respTagNodeID
+	respTagXML
+	respTagDataVersion
+	respTagFrames
+	respTagMore
+	respTagTuplesShipped
+	respTagQueriesReceived
+	respTagCodec
+)
+
+// NodeFrame flag bits (frames are dense enough that a flag byte beats tags).
+const (
+	frameFlagIsLeaf = 1 << iota
+	frameFlagLabel
+	frameFlagNodeID
+	frameFlagValue
+	frameFlagXML
+)
+
+// ---- primitive appenders ----
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// binReader decodes primitives from a payload; it records the first error
+// and fails all further reads, so decoders check once at the end.
+type binReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *binReader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *binReader) done() bool { return r.err != nil || r.pos >= len(r.buf) }
+
+func (r *binReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail("wire: binary payload truncated")
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("wire: bad uvarint in binary payload")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("wire: bad varint in binary payload")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) string() string {
+	n := int(r.uvarint())
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || len(r.buf)-r.pos < n {
+		r.fail("wire: binary string overruns payload")
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+// ---- request ----
+
+// encodeRequest serializes a request into a binary payload (no length
+// prefix; writeBinFrame adds it).
+func encodeRequest(b []byte, req *Request) []byte {
+	b = append(b, binKindReq)
+	if req.ID != 0 {
+		b = append(b, reqTagID)
+		b = appendVarint(b, req.ID)
+	}
+	if req.Op != "" {
+		b = append(b, reqTagOp)
+		b = appendString(b, req.Op)
+	}
+	if req.View != "" {
+		b = append(b, reqTagView)
+		b = appendString(b, req.View)
+	}
+	if req.Query != "" {
+		b = append(b, reqTagQuery)
+		b = appendString(b, req.Query)
+	}
+	if req.Handle != 0 {
+		b = append(b, reqTagHandle)
+		b = appendVarint(b, req.Handle)
+	}
+	if req.Skip != 0 {
+		b = append(b, reqTagSkip)
+		b = appendVarint(b, int64(req.Skip))
+	}
+	if req.Max != 0 {
+		b = append(b, reqTagMax)
+		b = appendVarint(b, int64(req.Max))
+	}
+	if req.Deep {
+		b = append(b, reqTagDeep)
+	}
+	if len(req.Release) > 0 {
+		b = append(b, reqTagRelease)
+		b = appendUvarint(b, uint64(len(req.Release)))
+		for _, h := range req.Release {
+			b = appendVarint(b, h)
+		}
+	}
+	if req.Token != "" {
+		b = append(b, reqTagToken)
+		b = appendString(b, req.Token)
+	}
+	if req.Codec != "" {
+		b = append(b, reqTagCodec)
+		b = appendString(b, req.Codec)
+	}
+	return b
+}
+
+// decodeRequest parses a binary request payload.
+func decodeRequest(payload []byte) (Request, error) {
+	var req Request
+	r := &binReader{buf: payload}
+	if k := r.byte(); k != binKindReq {
+		return req, fmt.Errorf("wire: binary payload kind %q, want request", k)
+	}
+	for !r.done() {
+		switch tag := r.byte(); tag {
+		case reqTagID:
+			req.ID = r.varint()
+		case reqTagOp:
+			req.Op = r.string()
+		case reqTagView:
+			req.View = r.string()
+		case reqTagQuery:
+			req.Query = r.string()
+		case reqTagHandle:
+			req.Handle = r.varint()
+		case reqTagSkip:
+			req.Skip = int(r.varint())
+		case reqTagMax:
+			req.Max = int(r.varint())
+		case reqTagDeep:
+			req.Deep = true
+		case reqTagRelease:
+			n := r.uvarint()
+			if n > uint64(len(payload)) { // cheap sanity bound before allocating
+				r.fail("wire: release list length %d overruns payload", n)
+				break
+			}
+			req.Release = make([]int64, 0, n)
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				req.Release = append(req.Release, r.varint())
+			}
+		case reqTagToken:
+			req.Token = r.string()
+		case reqTagCodec:
+			req.Codec = r.string()
+		default:
+			r.fail("wire: unknown binary request tag %d", tag)
+		}
+	}
+	return req, r.err
+}
+
+// ---- response ----
+
+// appendNodeFrame serializes one NodeFrame. It may only be called from
+// encodeResponse: a response's Frames were grown through the budget-checking
+// frameAppender, and serializing frames from anywhere else would reintroduce
+// exactly the raw unbudgeted growth the framebudget analyzer forbids.
+func appendNodeFrame(b []byte, f *NodeFrame) []byte {
+	var flags byte
+	if f.IsLeaf {
+		flags |= frameFlagIsLeaf
+	}
+	if f.Label != "" {
+		flags |= frameFlagLabel
+	}
+	if f.NodeID != "" {
+		flags |= frameFlagNodeID
+	}
+	if f.Value != "" {
+		flags |= frameFlagValue
+	}
+	if f.XML != "" {
+		flags |= frameFlagXML
+	}
+	b = append(b, flags)
+	b = appendVarint(b, f.Handle)
+	if flags&frameFlagLabel != 0 {
+		b = appendString(b, f.Label)
+	}
+	if flags&frameFlagNodeID != 0 {
+		b = appendString(b, f.NodeID)
+	}
+	if flags&frameFlagValue != 0 {
+		b = appendString(b, f.Value)
+	}
+	if flags&frameFlagXML != 0 {
+		b = appendString(b, f.XML)
+	}
+	return b
+}
+
+func decodeNodeFrame(r *binReader) NodeFrame {
+	var f NodeFrame
+	flags := r.byte()
+	f.Handle = r.varint()
+	f.IsLeaf = flags&frameFlagIsLeaf != 0
+	if flags&frameFlagLabel != 0 {
+		f.Label = r.string()
+	}
+	if flags&frameFlagNodeID != 0 {
+		f.NodeID = r.string()
+	}
+	if flags&frameFlagValue != 0 {
+		f.Value = r.string()
+	}
+	if flags&frameFlagXML != 0 {
+		f.XML = r.string()
+	}
+	return f
+}
+
+// encodeResponse serializes a response into a binary payload.
+func encodeResponse(b []byte, resp *Response) []byte {
+	b = append(b, binKindResp)
+	if resp.ID != 0 {
+		b = append(b, respTagID)
+		b = appendVarint(b, resp.ID)
+	}
+	if resp.OK {
+		b = append(b, respTagOK)
+	}
+	if resp.Error != "" {
+		b = append(b, respTagError)
+		b = appendString(b, resp.Error)
+	}
+	if resp.Busy {
+		b = append(b, respTagBusy)
+	}
+	if resp.RetryAfterMs != 0 {
+		b = append(b, respTagRetryAfterMs)
+		b = appendVarint(b, resp.RetryAfterMs)
+	}
+	if resp.Token != "" {
+		b = append(b, respTagToken)
+		b = appendString(b, resp.Token)
+	}
+	if resp.Handle != 0 {
+		b = append(b, respTagHandle)
+		b = appendVarint(b, resp.Handle)
+	}
+	if resp.Nil {
+		b = append(b, respTagNil)
+	}
+	if resp.Label != "" {
+		b = append(b, respTagLabel)
+		b = appendString(b, resp.Label)
+	}
+	if resp.Value != "" {
+		b = append(b, respTagValue)
+		b = appendString(b, resp.Value)
+	}
+	if resp.IsLeaf {
+		b = append(b, respTagIsLeaf)
+	}
+	if resp.NodeID != "" {
+		b = append(b, respTagNodeID)
+		b = appendString(b, resp.NodeID)
+	}
+	if resp.XML != "" {
+		b = append(b, respTagXML)
+		b = appendString(b, resp.XML)
+	}
+	if resp.DataVersion != 0 {
+		b = append(b, respTagDataVersion)
+		b = appendVarint(b, resp.DataVersion)
+	}
+	if len(resp.Frames) > 0 {
+		b = append(b, respTagFrames)
+		b = appendUvarint(b, uint64(len(resp.Frames)))
+		for i := range resp.Frames {
+			b = appendNodeFrame(b, &resp.Frames[i])
+		}
+	}
+	if resp.More {
+		b = append(b, respTagMore)
+	}
+	if resp.TuplesShipped != 0 {
+		b = append(b, respTagTuplesShipped)
+		b = appendVarint(b, resp.TuplesShipped)
+	}
+	if resp.QueriesReceived != 0 {
+		b = append(b, respTagQueriesReceived)
+		b = appendVarint(b, resp.QueriesReceived)
+	}
+	if resp.Codec != "" {
+		b = append(b, respTagCodec)
+		b = appendString(b, resp.Codec)
+	}
+	return b
+}
+
+// decodeResponse parses a binary response payload.
+func decodeResponse(payload []byte) (Response, error) {
+	var resp Response
+	r := &binReader{buf: payload}
+	if k := r.byte(); k != binKindResp {
+		return resp, fmt.Errorf("wire: binary payload kind %q, want response", k)
+	}
+	for !r.done() {
+		switch tag := r.byte(); tag {
+		case respTagID:
+			resp.ID = r.varint()
+		case respTagOK:
+			resp.OK = true
+		case respTagError:
+			resp.Error = r.string()
+		case respTagBusy:
+			resp.Busy = true
+		case respTagRetryAfterMs:
+			resp.RetryAfterMs = r.varint()
+		case respTagToken:
+			resp.Token = r.string()
+		case respTagHandle:
+			resp.Handle = r.varint()
+		case respTagNil:
+			resp.Nil = true
+		case respTagLabel:
+			resp.Label = r.string()
+		case respTagValue:
+			resp.Value = r.string()
+		case respTagIsLeaf:
+			resp.IsLeaf = true
+		case respTagNodeID:
+			resp.NodeID = r.string()
+		case respTagXML:
+			resp.XML = r.string()
+		case respTagDataVersion:
+			resp.DataVersion = r.varint()
+		case respTagFrames:
+			n := r.uvarint()
+			if n > uint64(len(payload)) {
+				r.fail("wire: frame count %d overruns payload", n)
+				break
+			}
+			// Re-attach decoded frames through the appender — the one
+			// construction path for Frames. Budgets were enforced by the
+			// sender and by readBinFrame's length check; add never cuts.
+			fa := &frameAppender{resp: &resp, max: int(n), budget: len(payload)}
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				fa.add(decodeNodeFrame(r))
+			}
+		case respTagMore:
+			resp.More = true
+		case respTagTuplesShipped:
+			resp.TuplesShipped = r.varint()
+		case respTagQueriesReceived:
+			resp.QueriesReceived = r.varint()
+		case respTagCodec:
+			resp.Codec = r.string()
+		default:
+			r.fail("wire: unknown binary response tag %d", tag)
+		}
+	}
+	return resp, r.err
+}
+
+// ---- binary framing ----
+
+// binLenSize is the frame length prefix width.
+const binLenSize = 4
+
+// writeBinFrame writes one length-prefixed binary frame.
+func writeBinFrame(w *bufio.Writer, payload []byte) error {
+	var hdr [binLenSize]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readBinFrame reads one length-prefixed binary frame of at most max payload
+// bytes. On an oversized frame it drains the payload — resynchronizing the
+// stream exactly like readFrame does for JSON lines — and returns
+// *FrameTooLargeError.
+func readBinFrame(r *bufio.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [binLenSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > uint32(max) {
+		if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+			return nil, err
+		}
+		return nil, &FrameTooLargeError{Limit: max}
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func mustJSON(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBinaryRequestRoundTrip pins the binary request codec: every field
+// survives encode/decode, including zero-valued ones (omitted on the wire,
+// zero after decode — mirroring JSON omitempty).
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{ID: 1, Op: "ping"},
+		{ID: 7, Op: "open", View: "rootv", Codec: codecBin},
+		{ID: 42, Op: "queryFrom", Query: "WHERE <a>$v</> IN $db CONSTRUCT <r>$v</>", Handle: 99},
+		{ID: 3, Op: "children", Handle: 12, Skip: 5, Max: 64, Deep: true},
+		{ID: 9, Op: "close", Handle: 4, Release: []int64{1, 2, 3, 1 << 40}},
+		{ID: 11, Op: "resume", Token: "tok-abcdef", Codec: codecBin},
+		{ID: -5, Op: "down", Handle: -8}, // negative ints exercise zigzag
+	}
+	for i, req := range cases {
+		payload := encodeRequest(nil, &req)
+		got, err := decodeRequest(payload)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("case %d: round trip changed the request\ngot:  %+v\nwant: %+v", i, got, req)
+		}
+	}
+}
+
+// TestBinaryResponseRoundTrip pins the binary response codec, including a
+// frame batch (re-attached through the budget-checking appender) and the
+// busy/error shapes.
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{ID: 1, OK: true, Handle: 10, Label: "CustRec", NodeID: "&o1", DataVersion: 3},
+		{ID: 2, OK: false, Error: "unknown view \"x\""},
+		{ID: 3, Busy: true, RetryAfterMs: 250},
+		{ID: 4, OK: true, Nil: true},
+		{ID: 5, OK: true, IsLeaf: true, Value: "XYZ123", Token: "tok", Codec: codecBin},
+		{ID: 6, OK: true, XML: "<a><b>x</b></a>", TuplesShipped: 17, QueriesReceived: 2},
+		{ID: 7, OK: true, More: true, Frames: []NodeFrame{
+			{Handle: 1, Label: "a", NodeID: "&1"},
+			{Handle: 2, Label: "b", IsLeaf: true, Value: "v"},
+			{Handle: 3, XML: "<c/>"},
+			{Handle: -4},
+		}},
+	}
+	for i, resp := range cases {
+		payload := encodeResponse(nil, &resp)
+		got, err := decodeResponse(payload)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Fatalf("case %d: round trip changed the response\ngot:  %+v\nwant: %+v", i, got, resp)
+		}
+	}
+}
+
+// TestBinaryCodecCompact sanity-checks the point of the codec: a frame-heavy
+// response encodes strictly smaller than its JSON form.
+func TestBinaryCodecCompact(t *testing.T) {
+	frames := make([]NodeFrame, 50)
+	for i := range frames {
+		frames[i] = NodeFrame{
+			Handle: int64(1000 + i), Label: "CustRec", NodeID: "&o123", IsLeaf: i%2 == 0, Value: "XYZ123",
+		}
+	}
+	resp := Response{ID: 12345, OK: true, DataVersion: 7, More: true, Frames: frames}
+	bin := encodeResponse(nil, &resp)
+	jsonLen := len(mustJSON(t, &resp))
+	if len(bin) >= jsonLen {
+		t.Fatalf("binary response (%d bytes) is not smaller than JSON (%d bytes)", len(bin), jsonLen)
+	}
+}
+
+// TestReadBinFrameOversize: an oversized binary frame is drained (framing
+// stays intact) and surfaces as *FrameTooLargeError, exactly like readFrame.
+func TestReadBinFrameOversize(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	big := make([]byte, 100)
+	if err := writeBinFrame(w, big); err != nil {
+		t.Fatal(err)
+	}
+	small := encodeRequest(nil, &Request{ID: 1, Op: "ping"})
+	if err := writeBinFrame(w, small); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r := bufio.NewReader(&buf)
+	_, err := readBinFrame(r, 10)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame error = %v, want ErrFrameTooLarge", err)
+	}
+	next, err := readBinFrame(r, 10)
+	if err != nil {
+		t.Fatalf("stream did not resynchronize after oversized frame: %v", err)
+	}
+	if req, err := decodeRequest(next); err != nil || req.Op != "ping" {
+		t.Fatalf("post-drain frame = %+v, %v", req, err)
+	}
+}
+
+// TestReadBinFrameTruncated: a frame cut mid-payload is a transport error,
+// not a silent short read.
+func TestReadBinFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeBinFrame(w, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	cut := buf.Bytes()[:buf.Len()-10]
+	if _, err := readBinFrame(bufio.NewReader(bytes.NewReader(cut)), 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated frame error = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestDecodeGarbage: corrupted payloads fail with an error instead of
+// producing a half-decoded message.
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := decodeRequest([]byte{binKindResp, 1, 2, 3}); err == nil {
+		t.Error("request decode accepted a response payload")
+	}
+	if _, err := decodeResponse([]byte{binKindReq}); err == nil {
+		t.Error("response decode accepted a request payload")
+	}
+	if _, err := decodeRequest([]byte{binKindReq, 200}); err == nil {
+		t.Error("unknown tag decoded without error")
+	}
+	// A string length running past the payload must not panic or over-read.
+	bad := []byte{binKindResp, respTagError, 0xFF, 0xFF, 0x03, 'x'}
+	if _, err := decodeResponse(bad); err == nil {
+		t.Error("overrunning string length decoded without error")
+	}
+}

@@ -1,0 +1,162 @@
+package wire_test
+
+import (
+	"io"
+	"net"
+	"testing"
+
+	"mix"
+	"mix/internal/testleak"
+	"mix/internal/wire"
+	"mix/internal/workload"
+)
+
+// codecPair wires a client to a server with explicit codec knobs on each
+// side, returning the client and its server (for handle-leak checks).
+func codecPair(t *testing.T, clientBin, serverBin bool) (*wire.Client, *wire.Server) {
+	t.Helper()
+	med := mix.New()
+	med.AddRelationalSource(workload.PaperDB())
+	if err := med.AliasSource("&root1", "&db1.customer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := med.AliasSource("&root2", "&db1.orders"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med.DefineView("rootv", workload.Q1); err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	srv := wire.NewServer(med)
+	srv.BinaryWire = serverBin
+	go func() {
+		defer server.Close()
+		_ = srv.ServeConn(server)
+	}()
+	c := wire.NewClientConfig(client, wire.ClientConfig{BinaryWire: clientBin})
+	t.Cleanup(func() {
+		c.Close()
+		testleak.NoHandles(t, "server node handles", srv.LiveHandles)
+	})
+	return c, srv
+}
+
+// codecSession runs one representative session — open, batched navigation,
+// leaf value, materialize, stats — and returns the materialized XML, so the
+// negotiation matrix can assert every codec combination answers identically.
+func codecSession(t *testing.T, c *wire.Client) string {
+	t.Helper()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	root, err := c.Open("rootv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Release()
+	first, err := root.Down()
+	if err != nil || first == nil {
+		t.Fatalf("down: %v %v", first, err)
+	}
+	for n := first; n != nil; {
+		next, err := n.Right()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Release()
+		n = next
+	}
+	xml, err := root.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	return xml
+}
+
+// TestCodecNegotiationMatrix drives every mixed-version pairing: the binary
+// codec engages exactly when both sides opt in, every other combination
+// silently stays on JSON, and all four answer byte-identically.
+func TestCodecNegotiationMatrix(t *testing.T) {
+	type cell struct {
+		clientBin, serverBin bool
+	}
+	answers := map[cell]string{}
+	var jsonBytes, binBytes int64
+	for _, tc := range []cell{{false, false}, {true, false}, {false, true}, {true, true}} {
+		c, _ := codecPair(t, tc.clientBin, tc.serverBin)
+		answers[tc] = codecSession(t, c)
+		st := c.WireStats()
+		wantBin := tc.clientBin && tc.serverBin
+		if st.BinaryWire != wantBin {
+			t.Errorf("client=%v server=%v: negotiated binary = %v, want %v",
+				tc.clientBin, tc.serverBin, st.BinaryWire, wantBin)
+		}
+		if st.BytesSent == 0 || st.BytesRecv == 0 {
+			t.Errorf("client=%v server=%v: byte counters empty: %+v", tc.clientBin, tc.serverBin, st)
+		}
+		if st.OpBytesSent["open"] == 0 || st.OpBytesRecv["children"] == 0 {
+			t.Errorf("client=%v server=%v: per-op byte counters empty: sent=%v recv=%v",
+				tc.clientBin, tc.serverBin, st.OpBytesSent, st.OpBytesRecv)
+		}
+		switch tc {
+		case cell{false, false}:
+			jsonBytes = st.BytesSent + st.BytesRecv
+		case cell{true, true}:
+			binBytes = st.BytesSent + st.BytesRecv
+		}
+	}
+	base := answers[cell{false, false}]
+	for tc, xml := range answers {
+		if xml != base {
+			t.Errorf("client=%v server=%v: answer diverged from the JSON baseline", tc.clientBin, tc.serverBin)
+		}
+	}
+	if binBytes >= jsonBytes {
+		t.Errorf("negotiated binary session moved %d bytes, JSON moved %d; binary should be smaller", binBytes, jsonBytes)
+	}
+	t.Logf("session bytes: json=%d binary=%d (%.1f%%)", jsonBytes, binBytes, 100*float64(binBytes)/float64(jsonBytes))
+}
+
+// TestCodecRenegotiatesAfterRedial pins the reconnect rule: the codec is
+// per-connection state, so a redialed connection starts on JSON and
+// renegotiates binary from scratch.
+func TestCodecRenegotiatesAfterRedial(t *testing.T) {
+	med := mix.New()
+	med.AddRelationalSource(workload.PaperDB())
+	srv := wire.NewServer(med)
+	srv.BinaryWire = true
+	dial := func() (io.ReadWriteCloser, error) {
+		server, client := net.Pipe()
+		go func() {
+			defer server.Close()
+			_ = srv.ServeConn(server)
+		}()
+		return client, nil
+	}
+	first, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wire.NewClientConfig(first, wire.ClientConfig{BinaryWire: true, Redial: dial})
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WireStats().BinaryWire {
+		t.Fatal("first connection did not negotiate binary")
+	}
+	first.Close() // sever the transport under the client
+	if err := c.Ping(); err != nil {
+		t.Fatal(err) // idempotent: redials and retries
+	}
+	st := c.WireStats()
+	if st.Redials == 0 {
+		t.Fatal("transport loss did not redial")
+	}
+	if !st.BinaryWire {
+		t.Fatal("redialed connection did not renegotiate binary")
+	}
+}

@@ -3,6 +3,7 @@ package wire_test
 import (
 	"fmt"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 
@@ -98,7 +99,7 @@ func TestParallelismOneWireExact(t *testing.T) {
 		}
 		a0, b0 := statsAt(0)
 		a1, b1 := statsAt(1)
-		if a0 != a1 || b0 != b1 {
+		if !reflect.DeepEqual(a0, a1) || !reflect.DeepEqual(b0, b1) {
 			t.Fatalf("%s: Parallelism=1 changed the wire protocol:\n p0: %+v %+v\n p1: %+v %+v", name, a0, b0, a1, b1)
 		}
 		if a0.RequestsSent == 0 || b0.RequestsSent == 0 {

@@ -67,6 +67,14 @@ type Request struct {
 	Release []int64 `json:"release,omitempty"`
 	// Token carries the resumable session token for the resume op.
 	Token string `json:"token,omitempty"`
+	// Codec proposes a wire codec switch. A client configured for the binary
+	// codec sets "bin" on the first (JSON) request of each connection; a
+	// server that also speaks binary echoes it on the OK response, and both
+	// sides switch to length-prefixed binary frames for every subsequent
+	// exchange on that connection. Old peers ignore the field (or never send
+	// it) and the connection stays on JSON — negotiation costs no extra
+	// round trip and no byte when the knob is off.
+	Codec string `json:"codec,omitempty"`
 }
 
 // NodeFrame is one node of a batched children/scan response: the same
@@ -128,4 +136,9 @@ type Response struct {
 
 	TuplesShipped   int64 `json:"tuplesShipped,omitempty"`
 	QueriesReceived int64 `json:"queriesReceived,omitempty"`
+
+	// Codec accepts a client's codec proposal (see Request.Codec): echoed as
+	// "bin" on the OK response to a negotiating request, after which this
+	// connection speaks length-prefixed binary frames.
+	Codec string `json:"codec,omitempty"`
 }

@@ -57,6 +57,14 @@ type Server struct {
 	// MaxBatch caps the frames one children/scan response carries, whatever
 	// the client's Max asks for; 0 means DefaultMaxBatch.
 	MaxBatch int
+	// BinaryWire accepts client proposals for the length-prefixed binary
+	// codec (see codec.go): when a JSON request carries Codec "bin", the OK
+	// response echoes it and the connection switches to binary frames for
+	// every later exchange. Off (the default) proposals are ignored and the
+	// server's wire bytes are identical to prior releases — JSON clients are
+	// unaffected either way, since negotiation only ever starts from a
+	// client proposal.
+	BinaryWire bool
 	// ErrorLog, when set, receives per-connection failures (malformed
 	// framing, I/O errors) that Serve would otherwise swallow.
 	ErrorLog func(error)
@@ -243,14 +251,33 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 	in := bufio.NewReaderSize(conn, sessBufSize)
 	out := bufio.NewWriter(conn)
 	enc := json.NewEncoder(out)
+	// binCodec marks a connection that negotiated the binary codec: flipped
+	// after the OK response that echoes a client's Codec proposal (the client
+	// flips after reading it — the same protocol point). binBuf is the reused
+	// binary encode buffer.
+	binCodec := false
+	var binBuf []byte
 	reply := func(resp Response) error {
+		if binCodec {
+			binBuf = encodeResponse(binBuf[:0], &resp)
+			if err := writeBinFrame(out, binBuf); err != nil {
+				return err
+			}
+			return out.Flush()
+		}
 		if err := enc.Encode(&resp); err != nil {
 			return err
 		}
 		return out.Flush()
 	}
 	for {
-		line, err := readFrame(in, s.maxFrame())
+		var line []byte
+		var err error
+		if binCodec {
+			line, err = readBinFrame(in, s.maxFrame())
+		} else {
+			line, err = readFrame(in, s.maxFrame())
+		}
 		if err != nil {
 			var tooBig *FrameTooLargeError
 			if errors.As(err, &tooBig) {
@@ -264,13 +291,19 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 			}
 			return err
 		}
-		if len(line) == 0 {
-			continue
+		if len(line) == 0 && !binCodec {
+			continue // blank JSON line; an empty binary payload is malformed
 		}
 		var req Request
 		var resp Response
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp = Response{OK: false, Error: "malformed request: " + err.Error()}
+		var derr error
+		if binCodec {
+			req, derr = decodeRequest(line)
+		} else {
+			derr = json.Unmarshal(line, &req)
+		}
+		if derr != nil {
+			resp = Response{OK: false, Error: "malformed request: " + derr.Error()}
 		} else if limits {
 			if !sess.admitted {
 				if !s.admit(sess, &req) {
@@ -296,9 +329,19 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 				resp.Token = sess.token
 				sess.tokenPending = false
 			}
+			if !binCodec && s.BinaryWire && req.Codec == codecBin {
+				// Accept the client's codec proposal: echo it on this OK
+				// response and switch once it is on the wire. The client
+				// switches on reading the echo, so both sides flip at the
+				// same protocol point.
+				resp.Codec = codecBin
+			}
 		}
 		if err := reply(resp); err != nil {
 			return err
+		}
+		if resp.Codec == codecBin {
+			binCodec = true
 		}
 	}
 }

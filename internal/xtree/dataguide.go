@@ -1,0 +1,110 @@
+package xtree
+
+import "sort"
+
+// Dataguide is a strong-dataguide-style label-path index over one tree
+// (PAPERS.md: "Holistic evaluation of XML queries ... on an annotated strong
+// dataguide"): every node is bucketed under the label path from the root,
+// annotated with its preorder number. A getD descendant step from any
+// indexed node then becomes a bucket lookup plus a binary search over the
+// node's preorder span, instead of a subtree walk.
+//
+// The index is keyed by node pointer, not node id: trees are registered by
+// the catalog, ids are caller-assigned and need not be unique across
+// documents, and pointer identity is exactly "the node the cursor walked
+// to". A Dataguide is immutable after Build and safe for concurrent readers.
+type Dataguide struct {
+	// paths buckets nodes by root label path (labels joined by pathSep), in
+	// preorder — i.e. document order.
+	paths map[string][]guideEntry
+	// nodes annotates each indexed node with its bucket key and preorder
+	// span [pre, end): a descendant d of n satisfies pre(n) < pre(d) < end(n).
+	nodes map[*Node]guideInfo
+}
+
+type guideEntry struct {
+	n   *Node
+	pre int
+}
+
+type guideInfo struct {
+	key      string
+	pre, end int
+}
+
+// pathSep joins label-path keys; NUL never occurs in element labels.
+const pathSep = "\x00"
+
+// BuildDataguide indexes the tree rooted at n in one preorder pass.
+func BuildDataguide(root *Node) *Dataguide {
+	g := &Dataguide{
+		paths: map[string][]guideEntry{},
+		nodes: map[*Node]guideInfo{},
+	}
+	pre := 0
+	var walk func(n *Node, prefix string)
+	walk = func(n *Node, prefix string) {
+		key := prefix + n.Label
+		p := pre
+		pre++
+		g.paths[key] = append(g.paths[key], guideEntry{n: n, pre: p})
+		for _, c := range n.Children {
+			walk(c, key+pathSep)
+		}
+		g.nodes[n] = guideInfo{key: key, pre: p, end: pre}
+	}
+	if root != nil {
+		walk(root, "")
+	}
+	return g
+}
+
+// Contains reports whether n belongs to the indexed tree.
+func (g *Dataguide) Contains(n *Node) bool {
+	_, ok := g.nodes[n]
+	return ok
+}
+
+// Descend returns, in document order, every node reachable from start by a
+// downward path whose labels spell path — including start's own label as the
+// first step, matching the getD operator (xmas.Path semantics). The second
+// result is false when the probe cannot be answered from this guide (start
+// not indexed, empty path, or a wildcard step) and the caller must walk.
+func (g *Dataguide) Descend(start *Node, path []string) ([]*Node, bool) {
+	if len(path) == 0 {
+		return nil, false
+	}
+	for _, s := range path {
+		if s == "%" {
+			return nil, false
+		}
+	}
+	info, ok := g.nodes[start]
+	if !ok {
+		return nil, false
+	}
+	if path[0] != start.Label {
+		return nil, true
+	}
+	if len(path) == 1 {
+		return []*Node{start}, true
+	}
+	key := info.key
+	for _, s := range path[1:] {
+		key += pathSep + s
+	}
+	bucket := g.paths[key]
+	// Nodes strictly inside start's preorder span are exactly its
+	// descendants; the bucket key already pins their full root path, so the
+	// span cut leaves precisely the nodes a walk from start would find.
+	lo := sort.Search(len(bucket), func(i int) bool { return bucket[i].pre > info.pre })
+	hi := sort.Search(len(bucket), func(i int) bool { return bucket[i].pre >= info.end })
+	if lo >= hi {
+		return nil, true
+	}
+	out := make([]*Node, 0, hi-lo)
+	for _, e := range bucket[lo:hi] {
+		out = append(out, e.n)
+	}
+	return out, true
+}

@@ -1,0 +1,137 @@
+package xtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// walkDescend is the reference implementation: the label-path walk the guide
+// replaces, yielding matches in document order. A node matching the full
+// path is yielded without descending further (getD semantics — pathStream in
+// the engine pops matches without exploring them).
+func walkDescend(start *Node, path []string) []*Node {
+	if len(path) == 0 || path[0] != start.Label {
+		return nil
+	}
+	if len(path) == 1 {
+		return []*Node{start}
+	}
+	var out []*Node
+	for _, c := range start.Children {
+		out = append(out, walkDescend(c, path[1:])...)
+	}
+	return out
+}
+
+func guideTree() *Node {
+	// Repeated labels at several depths, including a.b.b chains that probe
+	// the match-without-descending rule.
+	return NewElem("&r", "a",
+		NewElem("&1", "b",
+			NewElem("&11", "c", Text("x")),
+			NewElem("&12", "b",
+				NewElem("&121", "b", Text("deep")),
+				NewElem("&122", "c", Text("y")),
+			),
+		),
+		NewElem("&2", "c", Text("z")),
+		NewElem("&3", "b",
+			NewElem("&31", "c", Text("w")),
+		),
+	)
+}
+
+func TestDataguideDescendMatchesWalk(t *testing.T) {
+	root := guideTree()
+	g := BuildDataguide(root)
+	paths := [][]string{
+		{"a"}, {"a", "b"}, {"a", "b", "c"}, {"a", "b", "b"},
+		{"a", "c"}, {"a", "b", "b", "b"}, {"a", "x"}, {"b"},
+	}
+	var starts []*Node
+	root.Walk(func(n *Node) bool { starts = append(starts, n); return true })
+	for _, start := range starts {
+		for _, p := range paths {
+			// Relativize: the walk starts wherever the cursor is, so probe
+			// from every node with every path.
+			want := walkDescend(start, p)
+			got, ok := g.Descend(start, p)
+			if !ok {
+				t.Fatalf("Descend(%s, %v) not answerable", start.ID, p)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Descend(%s, %v) = %d nodes, walk found %d", start.ID, p, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Descend(%s, %v)[%d] = %s, walk found %s (order or identity mismatch)",
+						start.ID, p, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+func TestDataguideRefusals(t *testing.T) {
+	root := guideTree()
+	g := BuildDataguide(root)
+	if _, ok := g.Descend(root, nil); ok {
+		t.Error("empty path should not be answerable")
+	}
+	if _, ok := g.Descend(root, []string{"a", "%"}); ok {
+		t.Error("wildcard path should not be answerable")
+	}
+	foreign := NewElem("&f", "a", Text("x"))
+	if _, ok := g.Descend(foreign, []string{"a"}); ok {
+		t.Error("unindexed start node should not be answerable")
+	}
+	if g.Contains(foreign) {
+		t.Error("Contains(foreign) = true")
+	}
+	if !g.Contains(root.Children[0]) {
+		t.Error("Contains(indexed child) = false")
+	}
+}
+
+func TestDataguideRandomizedAgainstWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	labels := []string{"a", "b", "c"}
+	var build func(depth int, id string) *Node
+	build = func(depth int, id string) *Node {
+		n := &Node{ID: ID("&" + id), Label: labels[rng.Intn(len(labels))]}
+		if depth > 0 {
+			for i := 0; i < rng.Intn(4); i++ {
+				n.Children = append(n.Children, build(depth-1, fmt.Sprintf("%s.%d", id, i)))
+			}
+		}
+		return n
+	}
+	for trial := 0; trial < 50; trial++ {
+		root := build(5, fmt.Sprintf("t%d", trial))
+		g := BuildDataguide(root)
+		var nodes []*Node
+		root.Walk(func(n *Node) bool { nodes = append(nodes, n); return true })
+		for probe := 0; probe < 30; probe++ {
+			start := nodes[rng.Intn(len(nodes))]
+			plen := 1 + rng.Intn(4)
+			path := []string{start.Label}
+			for len(path) < plen {
+				path = append(path, labels[rng.Intn(len(labels))])
+			}
+			want := walkDescend(start, path)
+			got, ok := g.Descend(start, path)
+			if !ok {
+				t.Fatalf("trial %d: Descend(%s, %v) not answerable", trial, start.ID, path)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: Descend(%s, %v) = %d, walk %d", trial, start.ID, path, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: Descend(%s, %v)[%d] mismatch", trial, start.ID, path, i)
+				}
+			}
+		}
+	}
+}

@@ -89,6 +89,17 @@ type Config struct {
 	// making their keys unreachable. 0 (the default) disables result
 	// caching: every pushed-down query ships to its source.
 	SourceCache int
+	// BatchExec caps the engine's columnar batch window: CPU-bound operators
+	// (select, join, cat, apply, getD) move bindings in chunks of up to this
+	// many rows, with an adaptive window that starts at one row so
+	// first-answer latency stays lazy. 0 or 1 (the default) keeps the pure
+	// tuple-at-a-time interpreter — answers are byte-identical either way.
+	BatchExec int
+	// PathIndex builds a dataguide-style label-path index lazily over each
+	// registered XML source, turning getD descendant steps from subtree
+	// walks into index probes. Wildcard paths, constructed intermediate
+	// results and remote sources fall back to the walk. Off by default.
+	PathIndex bool
 }
 
 // Mediator integrates sources, maintains views, and serves QDOM documents.
@@ -517,6 +528,8 @@ func (m *Mediator) engineOpts() engine.Options {
 		Prefetch:       m.cfg.Prefetch,
 		Parallelism:    m.cfg.Parallelism,
 		ExchangeBuffer: m.cfg.ExchangeBuffer,
+		BatchExec:      m.cfg.BatchExec,
+		PathIndex:      m.cfg.PathIndex,
 	}
 }
 

@@ -7,6 +7,7 @@
 //	mixbench                      # run everything at default scale
 //	mixbench -exp lazy            # one experiment
 //	mixbench -exp vector -check   # E19, gated (CI smoke), writes BENCH_vector.json
+//	mixbench -exp cost -check     # E20, gated (CI smoke), writes BENCH_cost.json
 //	mixbench -n 2000 -k 1,10,100
 package main
 
@@ -22,14 +23,16 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: lazy|compose|decontext|gby|ablate|vector|all")
+		exp        = flag.String("exp", "all", "experiment: lazy|compose|decontext|gby|ablate|vector|cost|all")
 		sizes      = flag.String("n", "100,1000", "comma-separated customer counts")
 		ordersPer  = flag.Int("orders", 5, "orders per customer")
 		browseKs   = flag.String("k", "1,10,100", "comma-separated browse depths (lazy experiment)")
 		thresholds = flag.String("t", "50000,90000,99000", "selection thresholds (composition experiment)")
 		nJoin      = flag.Int("join-n", 1500, "rows per join side (vector experiment)")
 		runs       = flag.Int("runs", 3, "repetitions per microbench timing (vector experiment)")
-		check      = flag.Bool("check", false, "fail unless the vector experiment meets its speedup and byte gates")
+		nItems     = flag.Int("items", 300, "items in the supply federation (cost experiment)")
+		nSuppliers = flag.Int("suppliers", 30, "suppliers in the supply federation (cost experiment)")
+		check      = flag.Bool("check", false, "fail unless the gated experiments (vector, cost) meet their bars")
 	)
 	flag.Parse()
 
@@ -57,6 +60,15 @@ func main() {
 		table, result := experiment.Vectorized(*nJoin, *runs)
 		fmt.Println(table)
 		fail(experiment.WriteVectorJSON("BENCH_vector.json", fmt.Sprintf("%d rows per join side", *nJoin), result))
+		if *check {
+			fail(result.Check())
+		}
+	}
+	if *exp == "all" || *exp == "cost" {
+		table, result := experiment.CostBased(*nItems, *nSuppliers)
+		fmt.Println(table)
+		fail(experiment.WriteCostJSON("BENCH_cost.json",
+			fmt.Sprintf("%d items, %d suppliers, 2 servers", *nItems, *nSuppliers), result))
 		if *check {
 			fail(result.Check())
 		}

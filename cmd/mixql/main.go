@@ -35,8 +35,10 @@ func main() {
 		trace   = flag.Bool("trace", false, "print every rewrite step (the paper's Figures 14-21, live)")
 		planCC  = flag.Int("plan-cache", 0, "memoized plans per pipeline stage (0 = plan caching off)")
 		srcCC   = flag.Int("source-cache", 0, "memoized relational result sets (0 = result caching off)")
-		batchEx = flag.Int("batch-exec", 0, "columnar batch window for CPU-bound operators (0/1 = tuple-at-a-time)")
+		batchEx = flag.Int("batch-exec", 0, "columnar batch window cap (0 = default 64, negative = tuple-at-a-time)")
 		pathIdx = flag.Bool("path-index", false, "dataguide label-path index for getD over local XML sources")
+		costOpt = flag.Bool("cost-opt", false, "cost-based join reordering and cached-scan substitution")
+		costExp = flag.Bool("cost", false, "print the executable plan with per-operator cost estimates (EXPLAIN)")
 		remote  = flag.String("remote", "", "run against a mixserve at this address instead of in-process")
 		binWire = flag.Bool("binary-wire", false, "negotiate the binary wire codec (remote mode)")
 	)
@@ -47,7 +49,8 @@ func main() {
 		return
 	}
 
-	med := mix.NewWith(mix.Config{PlanCache: *planCC, SourceCache: *srcCC, BatchExec: *batchEx, PathIndex: *pathIdx})
+	med := mix.NewWith(mix.Config{PlanCache: *planCC, SourceCache: *srcCC, BatchExec: *batchEx,
+		PathIndex: *pathIdx, CostOpt: *costOpt})
 	switch *data {
 	case "paper":
 		med.AddRelationalSource(workload.PaperDB())
@@ -77,6 +80,13 @@ func main() {
 		}
 		fmt.Println("-- final executable plan --")
 		fmt.Println(executable)
+		return
+	}
+	if *costExp {
+		explained, err := med.ExplainCost(query)
+		fail(err)
+		fmt.Println("-- costed executable plan --")
+		fmt.Println(explained)
 		return
 	}
 	if *plan {

@@ -1,0 +1,117 @@
+package mix_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mix"
+	"mix/internal/workload"
+)
+
+// supplyMediator builds a mediator over the E20 two-server supply federation
+// (db1: item+stock, db2: supplier).
+func supplyMediator(t *testing.T, cfg mix.Config) *mix.Mediator {
+	t.Helper()
+	med := mix.NewWith(cfg)
+	db1, db2 := workload.SupplyDBs(300, 30, 1, 20020208)
+	med.AddRelationalSource(db1)
+	med.AddRelationalSource(db2)
+	return med
+}
+
+// federatedQueries are join plans that straddle the two supply servers; each
+// is both an equivalence subject (cost-on answers must match cost-off byte
+// for byte) and a prediction subject (estimated round trips must track the
+// observed source-query counter).
+var federatedQueries = []struct {
+	name  string
+	query string
+}{
+	{"skewed-3way", workload.QSupply},
+	{"3way-loose", `
+FOR $I IN document(&db1.item)/item
+    $S IN document(&db2.supplier)/supplier
+    $K IN document(&db1.stock)/stock
+WHERE $I/sid/data() = $S/sid/data() AND $I/iid/data() = $K/iid/data() AND $K/qty < 40
+RETURN
+  <Avail>
+    $I
+  </Avail> {$I}`},
+	{"2way-cross", `
+FOR $S IN document(&db2.supplier)/supplier
+    $I IN document(&db1.item)/item
+WHERE $S/sid/data() = $I/sid/data()
+RETURN
+  <Made>
+    $I
+  </Made> {$I}`},
+}
+
+// TestCostOptFederatedEquivalence: with cost-based optimization on, every
+// federated plan's serialized answer is byte-identical to the cost-off
+// answer, and the skewed three-way join (the E20 scenario) ships strictly
+// fewer tuples under the cost-chosen join order.
+func TestCostOptFederatedEquivalence(t *testing.T) {
+	for _, fq := range federatedQueries {
+		t.Run(fq.name, func(t *testing.T) {
+			run := func(costOpt bool) (string, int64, int64) {
+				med := supplyMediator(t, mix.Config{CostOpt: costOpt})
+				doc, err := med.Query(fq.query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := doc.Materialize()
+				if err := doc.Err(); err != nil {
+					t.Fatal(err)
+				}
+				s := med.Stats()
+				return mix.SerializeXML(m), s.TuplesShipped, s.QueriesReceived
+			}
+			off, offShipped, _ := run(false)
+			on, onShipped, _ := run(true)
+			if on != off {
+				t.Fatalf("cost-opt answer diverged\noff:\n%s\non:\n%s", off, on)
+			}
+			if onShipped > offShipped {
+				t.Fatalf("cost-opt shipped more tuples than syntactic order: %d > %d", onShipped, offShipped)
+			}
+			if fq.name == "skewed-3way" && onShipped >= offShipped {
+				t.Fatalf("skewed 3-way should ship strictly fewer tuples with cost-opt: on=%d off=%d", onShipped, offShipped)
+			}
+		})
+	}
+}
+
+// TestPredictedVsObservedRoundTrips checks the cost model's trip currency
+// against reality: for each federated plan, the estimator's predicted round
+// trips must land within 20% of the source-query counter observed when the
+// same mediator executes the plan.
+func TestPredictedVsObservedRoundTrips(t *testing.T) {
+	for _, fq := range federatedQueries {
+		t.Run(fq.name, func(t *testing.T) {
+			med := supplyMediator(t, mix.Config{CostOpt: true})
+			est, err := med.PredictCost(fq.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc, err := med.Query(fq.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc.Materialize()
+			if err := doc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			observed := float64(med.Stats().QueriesReceived)
+			if observed == 0 {
+				t.Fatal("no source queries observed")
+			}
+			if rel := math.Abs(est.Trips-observed) / observed; rel > 0.2 {
+				t.Fatalf("predicted %.1f round trips, observed %.0f (off by %.0f%%)",
+					est.Trips, observed, 100*rel)
+			}
+			t.Log(fmt.Sprintf("predicted %.1f trips, observed %.0f", est.Trips, observed))
+		})
+	}
+}

@@ -91,3 +91,31 @@ func (s *SessionCounters) racyMemReset() {
 func (s *SessionCounters) labelOK() string {
 	return s.label
 }
+
+// StoreStats mirrors the relational store's statistics counters: the data
+// version and transfer counters are method-style atomic cells bumped inside
+// the store's mutex but snapshotted lock-free by the cost estimator, so
+// every access must go through the atomic API; the per-column histogram
+// state is mutex-guarded plain data and stays exempt.
+type StoreStats struct {
+	version  atomic.Int64
+	shipped  atomic.Int64
+	distinct []int64
+}
+
+func (s *StoreStats) mutate() {
+	s.distinct = append(s.distinct, 1)
+	s.version.Add(1)
+}
+
+func (s *StoreStats) snapshot() (int64, int64) {
+	return s.version.Load(), s.shipped.Load()
+}
+
+func (s *StoreStats) staleVersion() atomic.Int64 {
+	return s.version // want "atomic cell version copied or read non-atomically"
+}
+
+func (s *StoreStats) histogramOK() int {
+	return len(s.distinct)
+}

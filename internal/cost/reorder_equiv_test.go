@@ -1,0 +1,74 @@
+package cost_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mix/internal/cost"
+	"mix/internal/engine"
+	"mix/internal/rewrite"
+	"mix/internal/source"
+	"mix/internal/sqlgen"
+	"mix/internal/workload"
+	"mix/internal/xmas"
+	"mix/internal/xmlio"
+)
+
+// TestRandomizedCostOptEquivalence runs the plan generator's corpus through
+// the cost-based reorderer: every generated plan is rewritten syntactically,
+// then executed twice — once pushed as-is (the cost-off pipeline) and once
+// reordered by cost before pushdown with cached-scan substitution armed —
+// and the serialized answers must agree byte for byte. The reorderer only
+// ever permutes join inputs whose order is provably unobservable, so any
+// divergence here is a bug, not a tolerance.
+func TestRandomizedCostOptEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020208))
+	const trials = 150
+	cat, _ := workload.PaperCatalog()
+	cat.EnableResultCache(256)
+	executed := 0
+	for trial := 0; trial < trials; trial++ {
+		plan := workload.RandomPlan(rng)
+		if err := xmas.Verify(plan); err != nil {
+			continue
+		}
+		opt, _, err := rewrite.Optimize(plan, rewrite.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: optimize: %v\n%s", trial, err, xmas.Format(plan))
+		}
+		base, err := sqlgen.Push(opt, cat)
+		if err != nil {
+			t.Fatalf("trial %d: push: %v\n%s", trial, err, xmas.Format(opt))
+		}
+		baseline := runPlan(t, trial, base, cat, engine.Options{})
+
+		reordered := cost.Reorder(opt, cat, 0)
+		pushed, err := sqlgen.Push(reordered, cat)
+		if err != nil {
+			t.Fatalf("trial %d: push reordered: %v\n%s", trial, err, xmas.Format(reordered))
+		}
+		got := runPlan(t, trial, pushed, cat, engine.Options{CostOpt: true})
+		if got != baseline {
+			t.Fatalf("trial %d: cost-opt answer diverged\nsyntactic:\n%s\nreordered:\n%s\nwant:\n%s\ngot:\n%s",
+				trial, xmas.Format(base), xmas.Format(pushed), baseline, got)
+		}
+		executed++
+	}
+	if executed < 100 {
+		t.Fatalf("only %d/%d generated plans executed; generator skew?", executed, trials)
+	}
+}
+
+func runPlan(t *testing.T, trial int, plan xmas.Op, cat *source.Catalog, opts engine.Options) string {
+	t.Helper()
+	prog, err := engine.CompileWith(plan, cat, opts)
+	if err != nil {
+		t.Fatalf("trial %d: compile: %v\nplan:\n%s", trial, err, xmas.Format(plan))
+	}
+	res := prog.Run()
+	m := res.Materialize()
+	if err := res.Err(); err != nil {
+		t.Fatalf("trial %d: run: %v\nplan:\n%s", trial, err, xmas.Format(plan))
+	}
+	return xmlio.Serialize(m)
+}

@@ -261,12 +261,24 @@ func compileRelQuery(o *xmas.RelQuery, cat *source.Catalog) (compiledOp, error) 
 	schema := o.Schema()
 	maps := o.Maps
 	sql := o.SQL
-	return func(*Ctx) Cursor {
+	return func(ctx *Ctx) Cursor {
 		var cur relstore.Cursor
 		done := false
 		return cursorFunc(func() (Tuple, bool, error) {
 			if done {
 				return Tuple{}, false, nil
+			}
+			if cur == nil {
+				// Under cost-based optimization, a query the catalog can
+				// answer from an already-cached full scan never leaves the
+				// mediator: the cached-scan-vs-pushdown decision is
+				// unconditional in the cache's favor (0 round trips, 0
+				// tuples shipped).
+				if ctx.opts.CostOpt {
+					if c, ok := cat.AnswerFromScanCache(db, sql); ok {
+						cur = c
+					}
+				}
 			}
 			if cur == nil {
 				// ExecRel routes through the catalog's result cache when one
@@ -444,6 +456,41 @@ func pathStream(root *Elem, path xmas.Path) func() (*Elem, bool) {
 // ---- filtering ----
 
 func compileSelect(o *xmas.Select, cat *source.Catalog) (compiledOp, error) {
+	// Fusion: a select over a cartesian join becomes the join's condition on
+	// the vectorized path, so the condition is evaluated inside the join's
+	// gather loop and non-matching pairs are never materialized into an
+	// output batch only to be filtered again. Left-major pair order is the
+	// same either way, so answers are byte-identical. The scalar path keeps
+	// the unfused select.
+	if j, ok := o.In.(*xmas.Join); ok && j.Cond == nil && fusableJoinCond(o.Cond, j) {
+		cc := o.Cond
+		fused, err := compileJoin(&xmas.Join{L: j.L, R: j.R, Cond: &cc}, cat)
+		if err != nil {
+			return nil, err
+		}
+		in, err := compile(o.In, cat)
+		if err != nil {
+			return nil, err
+		}
+		cond := o.Cond
+		return func(ctx *Ctx) Cursor {
+			if ctx.batchCap() > 0 {
+				return fused(ctx)
+			}
+			input := in(ctx)
+			return cursorFunc(func() (Tuple, bool, error) {
+				for {
+					t, ok, err := input.Next()
+					if err != nil || !ok {
+						return Tuple{}, false, err
+					}
+					if evalCond(cond, t) {
+						return t, true, nil
+					}
+				}
+			})
+		}, nil
+	}
 	in, err := compile(o.In, cat)
 	if err != nil {
 		return nil, err
@@ -466,6 +513,20 @@ func compileSelect(o *xmas.Select, cat *source.Catalog) (compiledOp, error) {
 			}
 		})
 	}, nil
+}
+
+// fusableJoinCond reports whether cond can serve as the join's condition.
+// Everything that runs on the nested-loop path (constants, id selections,
+// non-equalities) evaluates over the merged schema and is always safe; a
+// two-variable equality takes the hash path, which needs its operands on
+// opposite sides.
+func fusableJoinCond(c xmas.Cond, j *xmas.Join) bool {
+	if c.Op != xtree.OpEQ || c.Left.IsConst || c.Right.IsConst {
+		return true
+	}
+	lS, rS := j.L.Schema(), j.R.Schema()
+	return (xmas.HasVar(lS, c.Left.V) && xmas.HasVar(rS, c.Right.V)) ||
+		(xmas.HasVar(rS, c.Left.V) && xmas.HasVar(lS, c.Right.V))
 }
 
 func compileProject(o *xmas.Project, cat *source.Catalog) (compiledOp, error) {

@@ -51,6 +51,13 @@ type Options struct {
 	// instead of full-tree walks. Wildcard paths, constructed elements and
 	// remote sources always take the walking path.
 	PathIndex bool
+	// CostOpt enables the engine half of cost-based optimization: pushed
+	// relational queries that the catalog's result cache can answer from an
+	// already-cached full scan are evaluated at the mediator (filter +
+	// projection over cached rows) instead of being shipped to the source —
+	// zero round trips against sel·N fresh tuples. Answers are identical;
+	// only the transfer counters change. Off by default.
+	CostOpt bool
 }
 
 // Program is a compiled XMAS plan, ready to run. Compilation resolves

@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"mix"
+	"mix/internal/workload"
+)
+
+// costQueries are the E20 federated join plans: each straddles the two
+// supply servers, so join order decides how many tuples cross the wire. The
+// skewed three-way join is the headline case — the syntactic binding order
+// joins across servers first, while the cost-chosen order applies the
+// highly selective stock filter on db1 before anything ships.
+var costQueries = []struct {
+	Name  string
+	Query string
+}{
+	{"skewed-3way", workload.QSupply},
+	{"3way-loose", `
+FOR $I IN document(&db1.item)/item
+    $S IN document(&db2.supplier)/supplier
+    $K IN document(&db1.stock)/stock
+WHERE $I/sid/data() = $S/sid/data() AND $I/iid/data() = $K/iid/data() AND $K/qty < 40
+RETURN
+  <Avail>
+    $I
+  </Avail> {$I}`},
+	{"2way-cross", `
+FOR $S IN document(&db2.supplier)/supplier
+    $I IN document(&db1.item)/item
+WHERE $S/sid/data() = $I/sid/data()
+RETURN
+  <Made>
+    $I
+  </Made> {$I}`},
+}
+
+// CostQueryResult is one federated plan measured with cost-based
+// optimization off and on.
+type CostQueryResult struct {
+	Name             string  `json:"name"`
+	SyntacticShipped int64   `json:"syntactic_shipped"`
+	CostShipped      int64   `json:"cost_shipped"`
+	SyntacticTrips   int64   `json:"syntactic_trips"`
+	CostTrips        int64   `json:"cost_trips"`
+	PredictedTrips   float64 `json:"predicted_trips"`
+	ShipReduction    float64 `json:"ship_reduction"`
+	Identical        bool    `json:"answers_identical"`
+}
+
+// CostResult is experiment E20's measured output.
+type CostResult struct {
+	Items     int               `json:"items"`
+	Suppliers int               `json:"suppliers"`
+	Queries   []CostQueryResult `json:"queries"`
+}
+
+// CostBased runs experiment E20: each federated plan executes once under the
+// syntactic join order and once under cost-based optimization, counting
+// tuples shipped and source round trips, and the estimator's predicted
+// trips are recorded against the observed counter.
+func CostBased(nItems, nSuppliers int) (Table, CostResult) {
+	t := Table{
+		Title: "E20 cost-based optimization",
+		Note: "cost-chosen join orders must answer byte-identically to the syntactic\n" +
+			"order and ship at least 1.5x fewer tuples on the skewed three-way join",
+		Header: []string{"query", "shipped syn/cost", "trips syn/cost", "predicted trips", "reduction"},
+	}
+	r := CostResult{Items: nItems, Suppliers: nSuppliers}
+
+	for _, cq := range costQueries {
+		run := func(costOpt bool) (string, int64, int64) {
+			med := mix.NewWith(mix.Config{CostOpt: costOpt})
+			db1, db2 := workload.SupplyDBs(nItems, nSuppliers, 1, 20020208)
+			med.AddRelationalSource(db1)
+			med.AddRelationalSource(db2)
+			doc, err := med.Query(cq.Query)
+			must(err)
+			m := doc.Materialize()
+			must(doc.Err())
+			s := med.Stats()
+			return mix.SerializeXML(m), s.TuplesShipped, s.QueriesReceived
+		}
+		syn, synShipped, synTrips := run(false)
+		opt, optShipped, optTrips := run(true)
+
+		medP := mix.NewWith(mix.Config{CostOpt: true})
+		db1, db2 := workload.SupplyDBs(nItems, nSuppliers, 1, 20020208)
+		medP.AddRelationalSource(db1)
+		medP.AddRelationalSource(db2)
+		est, err := medP.PredictCost(cq.Query)
+		must(err)
+
+		q := CostQueryResult{
+			Name:             cq.Name,
+			SyntacticShipped: synShipped,
+			CostShipped:      optShipped,
+			SyntacticTrips:   synTrips,
+			CostTrips:        optTrips,
+			PredictedTrips:   est.Trips,
+			Identical:        syn == opt,
+		}
+		if optShipped > 0 {
+			q.ShipReduction = float64(synShipped) / float64(optShipped)
+		}
+		r.Queries = append(r.Queries, q)
+		t.Rows = append(t.Rows, []string{
+			cq.Name,
+			fmt.Sprintf("%d / %d", synShipped, optShipped),
+			fmt.Sprintf("%d / %d", synTrips, optTrips),
+			fmt.Sprintf("%.1f", est.Trips),
+			fmt.Sprintf("%.1fx", q.ShipReduction),
+		})
+	}
+	return t, r
+}
+
+// Check gates CI on E20's claims: answers must be byte-identical with the
+// optimizer on, the skewed three-way join must ship at least 1.5x fewer
+// tuples under the cost-chosen order, no plan may ship more, and the
+// predicted round trips must land within 20% of the observed counter.
+func (r CostResult) Check() error {
+	for _, q := range r.Queries {
+		if !q.Identical {
+			return fmt.Errorf("cost check: %s answered differently with cost-opt on", q.Name)
+		}
+		if q.CostShipped > q.SyntacticShipped {
+			return fmt.Errorf("cost check: %s shipped more with cost-opt (%d > %d)",
+				q.Name, q.CostShipped, q.SyntacticShipped)
+		}
+		if q.CostTrips == 0 {
+			return fmt.Errorf("cost check: %s observed no source queries", q.Name)
+		}
+		if rel := math.Abs(q.PredictedTrips-float64(q.CostTrips)) / float64(q.CostTrips); rel > 0.2 {
+			return fmt.Errorf("cost check: %s predicted %.1f trips, observed %d (off by %.0f%%)",
+				q.Name, q.PredictedTrips, q.CostTrips, 100*rel)
+		}
+		if q.Name == "skewed-3way" && q.ShipReduction < 1.5 {
+			return fmt.Errorf("cost check: skewed 3-way reduction %.2fx < 1.5x (syntactic %d, cost %d)",
+				q.ShipReduction, q.SyntacticShipped, q.CostShipped)
+		}
+	}
+	return nil
+}
+
+// WriteCostJSON records the measured result with run metadata, in the style
+// of the other BENCH_*.json baselines.
+func WriteCostJSON(path, workload string, r CostResult) error {
+	doc := struct {
+		Suite    string     `json:"suite"`
+		Workload string     `json:"workload"`
+		Command  string     `json:"command"`
+		Date     string     `json:"date"`
+		Results  CostResult `json:"results"`
+	}{
+		Suite:    "mixbench cost (E20)",
+		Workload: workload,
+		Command:  "go run ./cmd/mixbench -exp cost -check",
+		Date:     time.Now().Format("2006-01-02"),
+		Results:  r,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -378,6 +378,25 @@ type VectorResult struct {
 	WireJSONBytes  int64   `json:"wire_json_bytes"`
 	WireBinBytes   int64   `json:"wire_binary_bytes"`
 	WireBinRatio   float64 `json:"wire_binary_over_json"`
+
+	// WindowSweep records the BatchExec window-cap sweep over the mediator
+	// workloads: the CPU-bound join microbench and a full E10-style query
+	// over the view per cap, plus the tuples a browse-1 ships (navigation
+	// sessions always run tuple-at-a-time, so this must not grow with the
+	// cap). BestWindow is the sweet spot by combined time among the
+	// vectorized caps; DefaultBatchExec is the window mix.Config bakes in
+	// as its zero-value default.
+	WindowSweep      []WindowPoint `json:"window_sweep,omitempty"`
+	BestWindow       int           `json:"best_window,omitempty"`
+	DefaultBatchExec int           `json:"default_batch_exec,omitempty"`
+}
+
+// WindowPoint is one BatchExec cap in the window sweep.
+type WindowPoint struct {
+	Window        int     `json:"window"`
+	JoinMs        float64 `json:"join_ms"`
+	ViewMs        float64 `json:"view_ms"`
+	BrowseShipped int64   `json:"browse1_shipped"`
 }
 
 // Check gates CI on the headline claims: the batch path must beat the
@@ -398,6 +417,16 @@ func (r VectorResult) Check() error {
 	}
 	if r.WireBinBytes >= r.WireJSONBytes {
 		return fmt.Errorf("vector check: binary codec moved %d bytes, JSON %d", r.WireBinBytes, r.WireJSONBytes)
+	}
+	// Vectorization is on by default, so a browse-1 must ship exactly what
+	// the scalar interpreter ships at every window cap — navigation
+	// sessions execute tuple-at-a-time by design, and this gate is the
+	// regression fence on that contract.
+	for _, p := range r.WindowSweep {
+		if len(r.WindowSweep) > 0 && p.BrowseShipped != r.WindowSweep[0].BrowseShipped {
+			return fmt.Errorf("vector check: browse-1 shipped %d tuples at window %d, %d at window %d — batch overshoot",
+				p.BrowseShipped, p.Window, r.WindowSweep[0].BrowseShipped, r.WindowSweep[0].Window)
+		}
 	}
 	return nil
 }
@@ -612,6 +641,56 @@ func Vectorized(nJoin, runs int) (Table, VectorResult) {
 		fmt.Sprintf("getD list/a/a/v, %d chains", fanout*fanout),
 		ms(walkDur) + "ms", ms(idxDur) + "ms", speedup(r.GetDSpeedup),
 	})
+
+	// BatchExec window-cap sweep over the mediator workloads: the CPU-bound
+	// join microbench and a full E10-style query over the Q1 view, per cap,
+	// plus the tuples a browse-1 ships. Window 1 is the scalar interpreter.
+	// The browse column must not move with the cap: navigation sessions
+	// (Open) always execute tuple-at-a-time — that design is what made
+	// flipping vectorized execution on by default safe, and this sweep is
+	// the regression gate on it.
+	const sweepN, sweepOrders = 300, 5
+	const sweepQ = `FOR $R IN document(rootv)/CustRec RETURN $R`
+	for _, w := range []int{1, 8, 16, 32, 64, 128, 256} {
+		jd, jOut := timePlan(joinPlan, cat, engine.Options{BatchExec: w}, runs)
+		if jOut != scalarOut {
+			panic("experiment: window-sweep join diverged from scalar")
+		}
+		medV := mediatorOver(sweepN, sweepOrders, mix.Config{BatchExec: w})
+		start := time.Now()
+		docV, err := medV.Query(sweepQ)
+		must(err)
+		docV.Materialize()
+		must(docV.Err())
+		viewDur := time.Since(start)
+		docV.Close()
+
+		medB := mediatorOver(sweepN, sweepOrders, mix.Config{BatchExec: w})
+		medB.ResetStats()
+		docB, err := medB.Open("rootv")
+		must(err)
+		browse(docB, 1)
+		shipped := medB.Stats().TuplesShipped
+		docB.Close()
+
+		r.WindowSweep = append(r.WindowSweep, WindowPoint{
+			Window: w, JoinMs: msF(jd), ViewMs: msF(viewDur), BrowseShipped: shipped,
+		})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("window cap %d", w),
+			fmt.Sprintf("join %sms", ms(jd)),
+			fmt.Sprintf("view %sms", ms(viewDur)),
+			fmt.Sprintf("browse-1 ships %d", shipped),
+		})
+	}
+	best := r.WindowSweep[1]
+	for _, p := range r.WindowSweep[1:] {
+		if p.JoinMs+p.ViewMs < best.JoinMs+best.ViewMs {
+			best = p
+		}
+	}
+	r.BestWindow = best.Window
+	r.DefaultBatchExec = mix.DefaultBatchExec
 
 	// Bytes on the wire for the same deep batched walk, JSON vs negotiated
 	// binary (the E15 scenario's transfer, re-measured under the codec).

@@ -1,0 +1,158 @@
+package relstore
+
+import (
+	"math"
+)
+
+// Per-column NDV sketches use linear counting: a fixed bitmap of ndvBits
+// cells, one hash probe per inserted value, estimate -m·ln(z/m) from the
+// fraction z/m of cells still zero. At 4096 cells the estimate stays within
+// a few percent up to roughly the cell count, which covers the relation
+// sizes the mediator's workloads ship; past saturation the estimate is
+// clamped to the row count, which is the correct upper bound anyway.
+const (
+	ndvBits  = 4096
+	ndvWords = ndvBits / 64
+)
+
+// colStat is the live per-column accumulator. It is only ever touched under
+// the owning DB's exclusive mutation lock (Insert holds db.mu), so plain
+// fields are safe; readers get value copies via TableStats under the read
+// lock.
+type colStat struct {
+	sketch   [ndvWords]uint64
+	min, max Datum
+	hasRange bool
+}
+
+// note folds one value into the accumulator.
+func (c *colStat) note(d Datum) {
+	h := hashDatum(d) % ndvBits
+	c.sketch[h/64] |= 1 << (h % 64)
+	if !c.hasRange {
+		c.min, c.max = d, d
+		c.hasRange = true
+		return
+	}
+	if Compare(d, c.min) < 0 {
+		c.min = d
+	}
+	if Compare(d, c.max) > 0 {
+		c.max = d
+	}
+}
+
+// estimate returns the linear-counting NDV estimate, clamped to [1, rows].
+func (c *colStat) estimate(rows int64) int64 {
+	if rows == 0 {
+		return 0
+	}
+	zero := int64(0)
+	for _, w := range c.sketch {
+		zero += int64(64 - popcount(w))
+	}
+	var est int64
+	if zero == 0 {
+		est = rows // sketch saturated; rows is the only bound left
+	} else {
+		est = int64(math.Round(ndvBits * math.Log(float64(ndvBits)/float64(zero))))
+	}
+	if est < 1 {
+		est = 1
+	}
+	if est > rows {
+		est = rows
+	}
+	return est
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}
+
+// hashDatum is FNV-1a over a kind-tagged rendering of the value, so "1" the
+// string and 1 the int land in different cells.
+func hashDatum(d Datum) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime }
+	mix(byte(d.Kind))
+	switch d.Kind {
+	case TInt:
+		v := uint64(d.I)
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	case TFloat:
+		v := math.Float64bits(d.F)
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	default:
+		for i := 0; i < len(d.S); i++ {
+			mix(d.S[i])
+		}
+	}
+	return h
+}
+
+// ColStats is the optimizer-facing snapshot of one column: the estimated
+// number of distinct values and the observed value range. HasRange is false
+// for empty tables.
+type ColStats struct {
+	NDV      int64
+	Min, Max Datum
+	HasRange bool
+}
+
+// TableStats is the optimizer-facing snapshot of one relation. Version is
+// the store's mutation counter at snapshot time — the same counter the PR 5
+// result cache keys on, so a plan costed at version v and a result cached at
+// version v describe the same store state.
+type TableStats struct {
+	Rows    int64
+	Cols    []ColStats // by column position, matching Schema.Columns
+	Version int64
+}
+
+// ColByName returns the stats for the named column.
+func (ts TableStats) ColByName(s Schema, name string) (ColStats, bool) {
+	i := s.ColIndex(name)
+	if i < 0 || i >= len(ts.Cols) {
+		return ColStats{}, false
+	}
+	return ts.Cols[i], true
+}
+
+// TableStats snapshots the named relation's statistics. The maintenance
+// cost is one hash probe and two comparisons per column per Insert — paid
+// under the mutation lock the Insert already holds — so the stats are always
+// current; there is no ANALYZE step.
+func (db *DB) TableStats(relation string) (TableStats, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[relation]
+	if !ok {
+		return TableStats{}, false
+	}
+	rows := int64(len(t.Rows))
+	out := TableStats{Rows: rows, Version: db.version.Load()}
+	out.Cols = make([]ColStats, len(t.stats))
+	for i := range t.stats {
+		c := &t.stats[i]
+		out.Cols[i] = ColStats{
+			NDV:      c.estimate(rows),
+			Min:      c.min,
+			Max:      c.max,
+			HasRange: c.hasRange,
+		}
+	}
+	return out, true
+}

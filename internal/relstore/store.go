@@ -35,6 +35,11 @@ func (s Schema) ColIndex(name string) int {
 type Table struct {
 	Schema Schema
 	Rows   [][]Datum
+
+	// stats holds one accumulator per column (row counts fall out of
+	// len(Rows)). Mutated only under the owning DB's exclusive lock;
+	// snapshot through DB.TableStats.
+	stats []colStat
 }
 
 // DB is one relational server: a named set of tables plus transfer counters.
@@ -78,7 +83,7 @@ func (db *DB) Create(s Schema) (*Table, error) {
 	if _, exists := db.tables[s.Relation]; exists {
 		return nil, fmt.Errorf("relstore: relation %s already exists", s.Relation)
 	}
-	t := &Table{Schema: s}
+	t := &Table{Schema: s, stats: make([]colStat, len(s.Columns))}
 	db.tables[s.Relation] = t
 	db.version.Add(1)
 	return t, nil
@@ -112,6 +117,9 @@ func (db *DB) Insert(relation string, row []Datum) error {
 		}
 	}
 	t.Rows = append(t.Rows, row)
+	for i, d := range row {
+		t.stats[i].note(d)
+	}
 	db.version.Add(1)
 	return nil
 }

@@ -1,0 +1,236 @@
+package source
+
+import (
+	"mix/internal/relstore"
+	"mix/internal/sqlparse"
+	"mix/internal/xtree"
+)
+
+// SizeHinted is implemented by source documents that can report (an estimate
+// of) their top-level element count without being scanned: local XML trees
+// know their children, wrapper views ask the store's statistics. Remote
+// documents do not implement it — the mediator learns their size from an
+// administrator hint (SetRowsHint) or falls back to the estimator's default.
+type SizeHinted interface {
+	EstRows() (int64, bool)
+}
+
+func (d *xmlDoc) EstRows() (int64, bool) {
+	return int64(len(d.root.Children)), true
+}
+
+func (d *relDoc) EstRows() (int64, bool) {
+	ts, ok := d.db.TableStats(d.schema.Relation)
+	if !ok {
+		return 0, false
+	}
+	return ts.Rows, true
+}
+
+// SetRowsHint declares the top-level element count of a source that cannot
+// report one itself (a remote mediator) — the classic mediator arrangement
+// where sources export their statistics out of band. Hints take precedence
+// over SizeHinted so an administrator can also override a local estimate.
+func (c *Catalog) SetRowsHint(srcID string, rows int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rowHints == nil {
+		c.rowHints = map[string]int64{}
+	}
+	c.rowHints[srcID] = rows
+}
+
+// DocRows answers the optimizer's "how big is this source?" for a document
+// id: an explicit hint if one was set, otherwise whatever the document
+// itself can report. The second result is false when neither knows.
+func (c *Catalog) DocRows(srcID string) (int64, bool) {
+	c.mu.RLock()
+	n, hinted := c.rowHints[srcID]
+	d := c.docs[srcID]
+	c.mu.RUnlock()
+	if hinted {
+		return n, true
+	}
+	if sh, ok := d.(SizeHinted); ok {
+		return sh.EstRows()
+	}
+	return 0, false
+}
+
+// RelStats returns the live statistics and schema of a relation on a
+// registered server — the per-column distinct/min/max the estimator turns
+// into selectivities. ok is false when the server or relation is unknown.
+func (c *Catalog) RelStats(server, relation string) (relstore.TableStats, relstore.Schema, bool) {
+	db, ok := c.RelDB(server)
+	if !ok {
+		return relstore.TableStats{}, relstore.Schema{}, false
+	}
+	t, ok := db.Table(relation)
+	if !ok {
+		return relstore.TableStats{}, relstore.Schema{}, false
+	}
+	ts, ok := db.TableStats(relation)
+	if !ok {
+		return relstore.TableStats{}, relstore.Schema{}, false
+	}
+	return ts, t.Schema, true
+}
+
+// AnswerFromScanCache tries to answer sql against db without contacting the
+// server: when the result cache already holds the unconstrained ordered scan
+// of the query's (single) relation at the store's current version, the
+// pushed-down query is just a filter + projection over rows the mediator
+// already has — zero round trips, zero tuples shipped, versus sel·N fresh
+// tuples for re-shipping the pushdown. The cost model makes that choice
+// unconditionally in the cache's favor, so no estimate is consulted here.
+//
+// The substitution is only taken when it is provably answer-identical to
+// executing sql at the source: one FROM entry, no DISTINCT, ORDER BY exactly
+// the relation's key (the order both the cached scan and the generated
+// pushdowns use — sqlexec sorts stably, so filtering the sorted scan equals
+// sorting the filtered subset), and every predicate a plain comparison the
+// mediator can evaluate with the source's own semantics.
+func (c *Catalog) AnswerFromScanCache(db *relstore.DB, sql string) (relstore.Cursor, bool) {
+	c.mu.RLock()
+	rc := c.resCache
+	c.mu.RUnlock()
+	if rc == nil {
+		return nil, false
+	}
+	// An exact cached result for this SQL is better still — leave it to the
+	// ExecRel replay path.
+	if _, ok := rc.lru.Peek(rc.key(db, sql)); ok {
+		return nil, false
+	}
+	q, err := sqlparse.Parse(sql)
+	if err != nil || len(q.From) != 1 || q.Distinct {
+		return nil, false
+	}
+	t, ok := db.Table(q.From[0].Relation)
+	if !ok {
+		return nil, false
+	}
+	schema := t.Schema
+	if len(q.OrderBy) != len(schema.Key) {
+		return nil, false
+	}
+	alias := q.From[0].Alias
+	colIdx := func(c sqlparse.ColRef) int {
+		if c.Qualifier != "" && c.Qualifier != alias {
+			return -1
+		}
+		return schema.ColIndex(c.Column)
+	}
+	for i, k := range schema.Key {
+		if colIdx(q.OrderBy[i]) != k {
+			return nil, false
+		}
+	}
+	rows, ok := rc.lru.Peek(rc.key(db, scanSQL(schema)))
+	if !ok {
+		return nil, false
+	}
+	// Compile predicates and the projection against the scan's column order
+	// (all schema columns, by position).
+	var filters []func([]relstore.Datum) bool
+	for _, p := range q.Where {
+		f, ok := compileScanPred(schema, colIdx, p)
+		if !ok {
+			return nil, false
+		}
+		filters = append(filters, f)
+	}
+	proj := make([]int, len(q.Cols))
+	for i, col := range q.Cols {
+		idx := colIdx(col)
+		if idx < 0 {
+			return nil, false
+		}
+		proj[i] = idx
+	}
+	return &scanCacheCursor{rows: rows, filters: filters, proj: proj}, true
+}
+
+// compileScanPred compiles one WHERE conjunct over a full schema row,
+// mirroring sqlexec's operand typing: a literal is parsed with the opposing
+// column's type and falls back to a string on mismatch.
+func compileScanPred(schema relstore.Schema, colIdx func(sqlparse.ColRef) int, p sqlparse.Pred) (func([]relstore.Datum) bool, bool) {
+	getter := func(e, other sqlparse.Expr) (func([]relstore.Datum) relstore.Datum, bool) {
+		if e.IsLit {
+			typ := relstore.TString
+			if !other.IsLit {
+				if idx := colIdx(other.Col); idx >= 0 {
+					typ = schema.Columns[idx].Type
+				}
+			}
+			d, err := relstore.ParseDatum(typ, e.Lit)
+			if err != nil {
+				d = relstore.Str(e.Lit)
+			}
+			return func([]relstore.Datum) relstore.Datum { return d }, true
+		}
+		idx := colIdx(e.Col)
+		if idx < 0 {
+			return nil, false
+		}
+		return func(row []relstore.Datum) relstore.Datum { return row[idx] }, true
+	}
+	lf, ok := getter(p.Left, p.Right)
+	if !ok {
+		return nil, false
+	}
+	rf, ok := getter(p.Right, p.Left)
+	if !ok {
+		return nil, false
+	}
+	op := p.Op
+	return func(row []relstore.Datum) bool {
+		c := relstore.Compare(lf(row), rf(row))
+		switch op {
+		case xtree.OpEQ:
+			return c == 0
+		case xtree.OpNE:
+			return c != 0
+		case xtree.OpLT:
+			return c < 0
+		case xtree.OpLE:
+			return c <= 0
+		case xtree.OpGT:
+			return c > 0
+		case xtree.OpGE:
+			return c >= 0
+		}
+		return false
+	}, true
+}
+
+// scanCacheCursor filters and projects a cached scan. Like the replay
+// cursor it bypasses NoteQuery/NoteShipped — nothing crossed the wire.
+type scanCacheCursor struct {
+	rows    [][]relstore.Datum
+	filters []func([]relstore.Datum) bool
+	proj    []int
+	pos     int
+	closed  bool
+}
+
+func (s *scanCacheCursor) Next() ([]relstore.Datum, bool) {
+outer:
+	for !s.closed && s.pos < len(s.rows) {
+		row := s.rows[s.pos]
+		s.pos++
+		for _, f := range s.filters {
+			if !f(row) {
+				continue outer
+			}
+		}
+		out := make([]relstore.Datum, len(s.proj))
+		for i, idx := range s.proj {
+			out[i] = row[idx]
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+func (s *scanCacheCursor) Close() { s.closed = true }

@@ -231,3 +231,77 @@ func PaperXMLDoc(relation string) *xtree.Node {
 	}
 	return root
 }
+
+// QSupply is the skewed federated three-way join of experiment E20: items
+// with low-quantity stock, checked against their supplier. Only $I reaches
+// the result, so the supplier and stock join inputs are order-free — the
+// shape the cost-based reorderer exploits. The syntactic binding order
+// joins item (db1) with supplier (db2) first, straddling the servers; the
+// cost-chosen order joins item with the highly selective stock filter on
+// db1 first, which SQL pushdown then merges into a single query.
+const QSupply = `
+FOR $I IN document(&db1.item)/item
+    $S IN document(&db2.supplier)/supplier
+    $K IN document(&db1.stock)/stock
+WHERE $I/sid/data() = $S/sid/data() AND $I/iid/data() = $K/iid/data() AND $K/qty < 5
+RETURN
+  <Avail>
+    $I
+  </Avail> {$I}
+`
+
+// SupplyDBs builds QSupply's two servers: db1 holds item and stock, db2
+// holds supplier. Stock quantities are uniform in 1..100, so the qty < 5
+// filter is highly selective (~4%) — the skew that makes join order matter.
+func SupplyDBs(nItems, nSuppliers, stockPer int, seed int64) (db1, db2 *relstore.DB) {
+	rng := rand.New(rand.NewSource(seed))
+	db1 = relstore.NewDB("db1")
+	db1.MustCreate(relstore.Schema{
+		Relation: "item",
+		Columns: []relstore.Column{
+			{Name: "iid", Type: relstore.TString},
+			{Name: "descr", Type: relstore.TString},
+			{Name: "sid", Type: relstore.TString},
+		},
+		Key: []int{0},
+	})
+	db1.MustCreate(relstore.Schema{
+		Relation: "stock",
+		Columns: []relstore.Column{
+			{Name: "skid", Type: relstore.TString},
+			{Name: "iid", Type: relstore.TString},
+			{Name: "qty", Type: relstore.TInt},
+		},
+		Key: []int{0},
+	})
+	db2 = relstore.NewDB("db2")
+	db2.MustCreate(relstore.Schema{
+		Relation: "supplier",
+		Columns: []relstore.Column{
+			{Name: "sid", Type: relstore.TString},
+			{Name: "sname", Type: relstore.TString},
+		},
+		Key: []int{0},
+	})
+	for s := 0; s < nSuppliers; s++ {
+		db2.MustInsert("supplier",
+			relstore.Str(fmt.Sprintf("SUP%04d", s)),
+			relstore.Str(fmt.Sprintf("Supplier%d", s)))
+	}
+	skid := 0
+	for i := 0; i < nItems; i++ {
+		id := fmt.Sprintf("ITEM%05d", i)
+		db1.MustInsert("item",
+			relstore.Str(id),
+			relstore.Str(fmt.Sprintf("Part%d", i)),
+			relstore.Str(fmt.Sprintf("SUP%04d", i%nSuppliers)))
+		for k := 0; k < stockPer; k++ {
+			db1.MustInsert("stock",
+				relstore.Str(fmt.Sprintf("SK%07d", skid)),
+				relstore.Str(id),
+				relstore.Int(int64(1+rng.Intn(100))))
+			skid++
+		}
+	}
+	return db1, db2
+}

@@ -1,0 +1,186 @@
+package xmas
+
+// Order-sensitivity analysis for the cost-based join reorderer.
+//
+// Reordering a join tree permutes the tuple stream: a left-deep (or any)
+// tree over leaves l1..ln emits the combined tuples in lexicographic
+// (p1,...,pn) order of the leaf positions, so permuting leaves permutes the
+// output. Whether that permutation is observable in the final document
+// depends on which variables the operators above actually consume: a
+// variable whose values (or whose first-occurrence order, for deduplicating
+// operators) can reach the result is "order-carrying"; a leaf binding only
+// non-carrying variables contributes multiplicity but no observable order.
+//
+// OrderDemand computes, for every operator, the set of carrying variables in
+// its output schema, walking top-down from each plan root. The rules are
+// conservative in one direction only — a variable may be reported carrying
+// when it is not, never the reverse:
+//
+//   - tD demands its collect variable (dedup-by-id keeps first occurrences).
+//   - select passes demand through: filtering drops tuples pointwise, and
+//     within a block of tuples equal on all carrying variables the survivors
+//     are interchangeable, so condition variables need not be demanded.
+//   - project demands every projected variable (duplicate elimination keeps
+//     first occurrences of distinct combinations).
+//   - crElt adds its skolem group variables (they form the element id the
+//     result deduplicates on) and its children variable (the kept element's
+//     content); cat adds both argument variables.
+//   - getD maps Out demand back to From (descendants enumerate in document
+//     order per source node, so only the source node order is in question).
+//   - groupBy demands its entire input schema: both the group order and the
+//     order inside each partition are observable.
+//   - orderBy adds its sort variables (the sort key values now determine the
+//     stream order) and keeps the incoming demand (the engine's sort is
+//     stable, so ties still expose input order).
+//   - a semi-join propagates demand only to its kept side; the other side
+//     contributes membership, never order.
+type demandWalker struct {
+	out map[Op]map[Var]bool
+}
+
+// OrderDemand returns, for every operator in the plan (nested apply and
+// view plans included), the set of its output variables whose tuple order
+// can be observed in the final result. The map is keyed by operator node
+// identity.
+func OrderDemand(root Op) map[Op]map[Var]bool {
+	w := &demandWalker{out: map[Op]map[Var]bool{}}
+	w.walkRoot(root)
+	return w.out
+}
+
+func (w *demandWalker) walkRoot(root Op) {
+	if td, ok := root.(*TD); ok {
+		w.walk(td.In, set(td.V))
+		w.out[root] = map[Var]bool{}
+		return
+	}
+	// A plan without tD (fragments in tests): everything observable.
+	w.walk(root, setAll(root.Schema()))
+}
+
+func set(vs ...Var) map[Var]bool {
+	m := make(map[Var]bool, len(vs))
+	for _, v := range vs {
+		m[v] = true
+	}
+	return m
+}
+
+func setAll(vs []Var) map[Var]bool { return set(vs...) }
+
+func union(a map[Var]bool, vs ...Var) map[Var]bool {
+	m := make(map[Var]bool, len(a)+len(vs))
+	for v := range a {
+		m[v] = true
+	}
+	for _, v := range vs {
+		m[v] = true
+	}
+	return m
+}
+
+func without(a map[Var]bool, v Var) map[Var]bool {
+	m := make(map[Var]bool, len(a))
+	for x := range a {
+		if x != v {
+			m[x] = true
+		}
+	}
+	return m
+}
+
+// walk records demand as op's carrying set and propagates it to the inputs.
+func (w *demandWalker) walk(op Op, demand map[Var]bool) {
+	if op == nil {
+		return
+	}
+	w.out[op] = demand
+	switch o := op.(type) {
+	case *MkSrc:
+		if o.In != nil {
+			// Naive composition: the view's result children feed Out, so the
+			// nested plan's own collect order is observable iff Out is.
+			if demand[o.Out] {
+				w.walkRoot(o.In)
+			} else {
+				w.walk(o.In, map[Var]bool{})
+			}
+		}
+	case *GetD:
+		d := demand
+		if demand[o.Out] {
+			d = union(without(demand, o.Out), o.From)
+		}
+		w.walk(o.In, d)
+	case *Select:
+		w.walk(o.In, demand)
+	case *Project:
+		if len(demand) > 0 {
+			w.walk(o.In, set(o.Vars...))
+		} else {
+			w.walk(o.In, map[Var]bool{})
+		}
+	case *Join:
+		w.walkSplit(o.L, o.R, demand)
+	case *SemiJoin:
+		if o.Keep == KeepLeft {
+			w.walk(o.L, demand)
+			w.walk(o.R, map[Var]bool{})
+		} else {
+			w.walk(o.L, map[Var]bool{})
+			w.walk(o.R, demand)
+		}
+	case *CrElt:
+		d := demand
+		if demand[o.Out] {
+			d = union(without(demand, o.Out), o.GroupVars...)
+			d = union(d, o.Children.V)
+		}
+		w.walk(o.In, d)
+	case *Cat:
+		d := demand
+		if demand[o.Out] {
+			d = union(without(demand, o.Out), o.X.V, o.Y.V)
+		}
+		w.walk(o.In, d)
+	case *TD:
+		w.walk(o.In, set(o.V))
+	case *GroupBy:
+		if len(demand) > 0 {
+			w.walk(o.In, setAll(o.In.Schema()))
+		} else {
+			w.walk(o.In, map[Var]bool{})
+		}
+	case *Apply:
+		d := demand
+		if demand[o.Out] {
+			d = union(without(demand, o.Out), o.InpVar)
+		}
+		w.walk(o.In, d)
+		// The nested plan reads only the partition placeholder; its own
+		// operators never touch the outer join tree.
+		w.walkRoot(o.Plan)
+	case *OrderBy:
+		d := demand
+		if len(demand) > 0 {
+			d = union(demand, o.Vars...)
+		}
+		w.walk(o.In, d)
+	}
+}
+
+// walkSplit distributes a joined demand set to the side that binds each
+// variable.
+func (w *demandWalker) walkSplit(l, r Op, demand map[Var]bool) {
+	ls, rs := map[Var]bool{}, map[Var]bool{}
+	lhas := setAll(l.Schema())
+	for v := range demand {
+		if lhas[v] {
+			ls[v] = true
+		} else {
+			rs[v] = true
+		}
+	}
+	w.walk(l, ls)
+	w.walk(r, rs)
+}

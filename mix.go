@@ -26,6 +26,7 @@ import (
 
 	"mix/internal/cache"
 	"mix/internal/compose"
+	"mix/internal/cost"
 	"mix/internal/engine"
 	"mix/internal/qdom"
 	"mix/internal/relstore"
@@ -92,15 +93,36 @@ type Config struct {
 	// BatchExec caps the engine's columnar batch window: CPU-bound operators
 	// (select, join, cat, apply, getD) move bindings in chunks of up to this
 	// many rows, with an adaptive window that starts at one row so
-	// first-answer latency stays lazy. 0 or 1 (the default) keeps the pure
-	// tuple-at-a-time interpreter — answers are byte-identical either way.
+	// first-answer latency stays lazy. 0 (the default) uses
+	// DefaultBatchExec for the full-answer entry points (Query, QueryFrom);
+	// navigation sessions started with Open always run tuple-at-a-time so
+	// browsing ships strictly on demand. 1 or negative forces the pure
+	// tuple-at-a-time interpreter everywhere. Answers are byte-identical
+	// either way.
 	BatchExec int
 	// PathIndex builds a dataguide-style label-path index lazily over each
 	// registered XML source, turning getD descendant steps from subtree
 	// walks into index probes. Wildcard paths, constructed intermediate
 	// results and remote sources fall back to the walk. Off by default.
 	PathIndex bool
+	// CostOpt enables cost-based optimization on top of the syntactic
+	// Table 2 rewriter: join orders are chosen by a cardinality estimator
+	// fed from the relational stores' statistics (costs denominated in
+	// estimated round trips + tuples shipped, candidates judged after SQL
+	// pushdown), and pushed-down queries answerable from an already-cached
+	// full scan are evaluated at the mediator instead of shipped. Off by
+	// default; off produces byte-identical plans and answers to prior
+	// behaviour, and reordering only ever permutes join inputs whose order
+	// is provably unobservable in the result.
+	CostOpt bool
 }
+
+// DefaultBatchExec is the columnar batch window used when Config.BatchExec
+// is zero: the sweet spot of the E19 window sweep (BENCH_vector.json) —
+// larger windows stopped paying on the mediator workloads, smaller ones
+// gave back batch-path wins. Browse workloads are unaffected by the
+// default: navigation sessions (Open) always execute tuple-at-a-time.
+const DefaultBatchExec = 64
 
 // Mediator integrates sources, maintains views, and serves QDOM documents.
 type Mediator struct {
@@ -256,8 +278,16 @@ func (m *Mediator) optimize(plan xmas.Op) (composePlan, execPlan xmas.Op, err er
 		}
 	}
 	execPlan = composePlan
+	if m.cfg.CostOpt && !m.cfg.DisablePushdown {
+		// Cost-based join reordering sits between the syntactic rewriter and
+		// SQL generation: candidates are judged by what they will cost after
+		// pushdown, but the composable plan (what in-place queries compose
+		// against) keeps the syntactic order. When no candidate wins, Reorder
+		// returns its input unchanged.
+		execPlan = cost.Reorder(execPlan, m.cat, m.cfg.BatchSize)
+	}
 	if !m.cfg.DisablePushdown {
-		execPlan, err = sqlgen.Push(composePlan, m.cat)
+		execPlan, err = sqlgen.Push(execPlan, m.cat)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -267,8 +297,8 @@ func (m *Mediator) optimize(plan xmas.Op) (composePlan, execPlan xmas.Op, err er
 
 // run compiles and starts a plan, wrapping the virtual result as a QDOM
 // document whose origin supports further in-place queries.
-func (m *Mediator) run(composePlan, execPlan xmas.Op, tags map[xmas.Var]string) (*qdom.Document, error) {
-	prog, err := m.planCache.CompileWith(execPlan, m.cat, m.engineOpts())
+func (m *Mediator) run(composePlan, execPlan xmas.Op, tags map[xmas.Var]string, opts engine.Options) (*qdom.Document, error) {
+	prog, err := m.planCache.CompileWith(execPlan, m.cat, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +397,7 @@ func (m *Mediator) Query(query string) (*qdom.Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.run(composePlan, execPlan, tags)
+	return m.run(composePlan, execPlan, tags, m.engineOpts())
 }
 
 // QueryWithMetrics is Query with per-operator mediator-work accounting:
@@ -404,6 +434,39 @@ func (m *Mediator) Explain(query string) (optimized, executable string, err erro
 		return "", "", err
 	}
 	return xmas.Format(composePlan), xmas.Format(execPlan), nil
+}
+
+// ExplainCost plans a query exactly like Explain but renders the executable
+// plan with the cost model's per-operator predictions: estimated output
+// rows, and cumulative tuples shipped and source round trips per subtree,
+// with the folded scalar cost on a trailing total line. Nothing is shipped
+// to any source.
+func (m *Mediator) ExplainCost(query string) (string, error) {
+	q, err := xquery.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	_, execPlan, _, err := m.planQuery(q)
+	if err != nil {
+		return "", err
+	}
+	return cost.Explain(execPlan, &cost.Estimator{Cat: m.cat, Batch: m.cfg.BatchSize}), nil
+}
+
+// PredictCost plans a query like Explain and returns the cost model's
+// whole-plan estimate — the numbers ExplainCost renders. Experiments use it
+// to compare predicted round trips against observed transfer counters.
+func (m *Mediator) PredictCost(query string) (cost.Estimate, error) {
+	q, err := xquery.Parse(query)
+	if err != nil {
+		return cost.Estimate{}, err
+	}
+	_, execPlan, _, err := m.planQuery(q)
+	if err != nil {
+		return cost.Estimate{}, err
+	}
+	est := &cost.Estimator{Cat: m.cat, Batch: m.cfg.BatchSize}
+	return est.Plan(execPlan), nil
 }
 
 // Explain renders the view's plans: the optimized algebraic form and the
@@ -472,7 +535,7 @@ func (m *Mediator) queryMaterialized(node *qdom.Node, q *xquery.Query) (*qdom.Do
 	if err != nil {
 		return nil, err
 	}
-	return m.run(composePlan, execPlan, tr.Tags)
+	return m.run(composePlan, execPlan, tr.Tags, m.engineOpts())
 }
 
 func (m *Mediator) composeAndRun(origin *compose.OriginPlan, ctx qdom.Context, q *xquery.Query, rootName string) (*qdom.Document, error) {
@@ -484,7 +547,7 @@ func (m *Mediator) composeAndRun(origin *compose.OriginPlan, ctx qdom.Context, q
 	if err != nil {
 		return nil, err
 	}
-	return m.run(composePlan, execPlan, composed.Tags)
+	return m.run(composePlan, execPlan, composed.Tags, m.engineOpts())
 }
 
 // referencedView returns the view a query's FOR clause ranges over, if any.
@@ -513,23 +576,46 @@ func (v *View) originPlan() *compose.OriginPlan {
 
 // Open starts an execution of a registered view itself, returning its
 // virtual document (clients usually navigate here first, then refine).
+//
+// Navigation sessions always execute tuple-at-a-time, regardless of
+// Config.BatchExec: a client browsing a view pays source shipping strictly
+// on demand, and the vectorized window's read-ahead (it doubles 1→cap as
+// the consumer drains) would ship rows the client never looks at. The
+// window applies to the full-answer entry points (Query, QueryFrom), where
+// every row is demanded anyway.
 func (m *Mediator) Open(viewName string) (*qdom.Document, error) {
 	v, ok := m.views[viewName]
 	if !ok {
 		return nil, fmt.Errorf("mix: unknown view %s", viewName)
 	}
-	return m.run(v.ComposePlan, v.ExecPlan, v.Tags)
+	return m.run(v.ComposePlan, v.ExecPlan, v.Tags, m.navOpts())
+}
+
+// navOpts is engineOpts with the vectorized window disabled — the execution
+// options for navigation sessions (Open), which ship on demand.
+func (m *Mediator) navOpts() engine.Options {
+	o := m.engineOpts()
+	o.BatchExec = 1
+	return o
 }
 
 func (m *Mediator) engineOpts() engine.Options {
+	batchExec := m.cfg.BatchExec
+	switch {
+	case batchExec == 0:
+		batchExec = DefaultBatchExec
+	case batchExec < 0:
+		batchExec = 1 // engine semantics: 0/1 = tuple-at-a-time
+	}
 	return engine.Options{
 		PartialResults: m.cfg.PartialResults,
 		BatchSize:      m.cfg.BatchSize,
 		Prefetch:       m.cfg.Prefetch,
 		Parallelism:    m.cfg.Parallelism,
 		ExchangeBuffer: m.cfg.ExchangeBuffer,
-		BatchExec:      m.cfg.BatchExec,
+		BatchExec:      batchExec,
 		PathIndex:      m.cfg.PathIndex,
+		CostOpt:        m.cfg.CostOpt,
 	}
 }
 

@@ -1,53 +1,76 @@
 // mixvet is the repository's static-analysis driver: a go-vet-style tool
 // running the MIX-specific analyzers — cursorclose (every opened cursor or
 // result must be closed on all paths), framebudget (wire batches must flow
-// through the budget-checking appender) and atomiccell (no mixed
-// atomic/plain field access). It loads and type-checks packages with the
-// module's own dependency-free loader, test files included (the cursor
-// contract binds tests too).
+// through the budget-checking appender), atomiccell (no mixed atomic/plain
+// field access), lockorder (one global mutex acquisition order), quotabalance
+// (session-quota charges released on every path), versionkey (cache keys
+// fold in a data version) and goroutinelife (every engine/wire goroutine has
+// a cancellation path). It loads and type-checks packages with the module's
+// own dependency-free loader, test files included (the cursor contract binds
+// tests too).
 //
 // Usage:
 //
 //	mixvet ./...
-//	mixvet -run cursorclose,atomiccell ./internal/engine ./internal/wire
+//	mixvet -run lockorder,quotabalance ./internal/wire
+//	mixvet -json ./... > findings.json
 //
 // Exit status is 1 when any diagnostic is reported, 2 on usage or load
-// errors. Individual findings can be waived with a trailing
-// `//mixvet:ignore` comment on the offending line; the waiver is meant to
-// be rare and greppable.
+// errors. With -json, diagnostics are emitted as a JSON array of
+// {file,line,col,analyzer,message} objects (an empty array when clean) so CI
+// can annotate pull requests. Individual findings can be waived with a
+// trailing `//mixvet:ignore` comment on the offending line; the waiver is
+// meant to be rare and greppable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"mix/internal/analysis"
-	"mix/internal/analysis/atomiccell"
-	"mix/internal/analysis/cursorclose"
-	"mix/internal/analysis/framebudget"
+	"mix/internal/analysis/registry"
 )
 
-var all = []*analysis.Analyzer{
-	cursorclose.Analyzer,
-	framebudget.Analyzer,
-	atomiccell.Analyzer,
+// finding is one diagnostic in -json output. File is relative to the
+// working directory when possible, keeping output stable across checkouts.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+
+	pos int // for sorting; not serialized
 }
 
 func main() {
-	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-	noTests := flag.Bool("notests", false, "skip _test.go files")
-	verbose := flag.Bool("v", false, "list analyzed packages")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mixvet [-run names] [-notests] packages...\n\nanalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	all := registry.All()
+	fs := flag.NewFlagSet("mixvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runFlag := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	noTests := fs.Bool("notests", false, "skip _test.go files")
+	verbose := fs.Bool("v", false, "list analyzed packages")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array of {file,line,col,analyzer,message}")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mixvet [-run names] [-notests] [-json] packages...\n\nanalyzers:\n")
 		for _, a := range all {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-13s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
-	patterns := flag.Args()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -62,8 +85,8 @@ func main() {
 		for _, name := range strings.Split(*runFlag, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "mixvet: unknown analyzer %q\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "mixvet: unknown analyzer %q\n", name)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -71,47 +94,46 @@ func main() {
 
 	wd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mixvet:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mixvet:", err)
+		return 2
 	}
 	loader, err := analysis.NewLoader(wd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mixvet:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mixvet:", err)
+		return 2
 	}
 	loader.IncludeTests = !*noTests
 
 	dirs, err := loader.ExpandPatterns(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mixvet:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mixvet:", err)
+		return 2
 	}
 	if len(dirs) == 0 {
-		fmt.Fprintln(os.Stderr, "mixvet: no packages match", strings.Join(patterns, " "))
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mixvet: no packages match", strings.Join(patterns, " "))
+		return 2
 	}
 
-	findings := 0
+	var findings []finding
 	loadErrs := 0
 	for _, dir := range dirs {
 		units, err := loader.Load(dir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mixvet: %s: %v\n", dir, err)
+			fmt.Fprintf(stderr, "mixvet: %s: %v\n", dir, err)
 			loadErrs++
 			continue
 		}
 		for _, u := range units {
 			if *verbose {
-				fmt.Fprintf(os.Stderr, "mixvet: analyzing %s (%d files)\n", u.ImportPath, len(u.Files))
+				fmt.Fprintf(stderr, "mixvet: analyzing %s (%d files)\n", u.ImportPath, len(u.Files))
 			}
 			for _, derr := range u.Degraded {
 				// A degraded unit means the type checker saw an error; the
 				// analyzers still ran but may have missed findings. Surface
 				// it loudly — a clean exit must mean a clean, full analysis.
-				fmt.Fprintf(os.Stderr, "mixvet: %s: load degraded: %v\n", u.ImportPath, derr)
+				fmt.Fprintf(stderr, "mixvet: %s: load degraded: %v\n", u.ImportPath, derr)
 				loadErrs++
 			}
-			var diags []analysis.Diagnostic
 			for _, a := range analyzers {
 				name := a.Name
 				pass := &analysis.Pass{
@@ -121,26 +143,55 @@ func main() {
 					Pkg:       u.Types,
 					TypesInfo: u.Info,
 					Report: func(d analysis.Diagnostic) {
-						d.Message = d.Message + " (" + name + ")"
-						diags = append(diags, d)
+						p := u.Fset.Position(d.Pos)
+						file := p.Filename
+						if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+							file = rel
+						}
+						findings = append(findings, finding{
+							File:     file,
+							Line:     p.Line,
+							Col:      p.Column,
+							Analyzer: name,
+							Message:  d.Message,
+							pos:      int(d.Pos),
+						})
 					},
 				}
 				if _, err := a.Run(pass); err != nil {
-					fmt.Fprintf(os.Stderr, "mixvet: %s: %s: %v\n", u.ImportPath, a.Name, err)
+					fmt.Fprintf(stderr, "mixvet: %s: %s: %v\n", u.ImportPath, a.Name, err)
 					loadErrs++
 				}
 			}
-			sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-			for _, d := range diags {
-				fmt.Printf("%s: %s\n", u.Fset.Position(d.Pos), d.Message)
-				findings++
-			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		return findings[i].pos < findings[j].pos
+	})
+	if *jsonOut {
+		if findings == nil {
+			findings = []finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "mixvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
 		}
 	}
 	switch {
 	case loadErrs > 0:
-		os.Exit(2)
-	case findings > 0:
-		os.Exit(1)
+		return 2
+	case len(findings) > 0:
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"mix/internal/analysis/registry"
+)
+
+// TestJSONGolden pins the -json wire format byte-for-byte over a fixed
+// corpus. CI annotation tooling parses this output; drift is a breaking
+// change and must be deliberate (regenerate with
+// `go run ./cmd/mixvet -json ./testdata/src/vetgold` from this directory).
+func TestJSONGolden(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{"-json", "./testdata/src/vetgold"}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings); stderr: %s", code, errs.String())
+	}
+	want, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("-json output drifted from testdata/golden.json:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestTextOutput checks the human-readable mode over the same corpus: one
+// finding per line, analyzer name suffixed, same finding count as -json.
+func TestTextOutput(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{"./testdata/src/vetgold"}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings); stderr: %s", code, errs.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "(lockorder)") && !strings.Contains(l, "(versionkey)") {
+			t.Errorf("finding line missing analyzer suffix: %q", l)
+		}
+		if !strings.HasPrefix(l, "testdata/src/vetgold/vetgold.go:") {
+			t.Errorf("finding line not rooted at the corpus file: %q", l)
+		}
+	}
+}
+
+// TestRunFlagSelects: -run restricts the analyzer set; the corpus is clean
+// under an analyzer that has no findings there, and that is exit 0.
+func TestRunFlagSelects(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{"-run", "cursorclose", "./testdata/src/vetgold"}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, out.String(), errs.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run produced output: %s", out.String())
+	}
+}
+
+// TestUnknownAnalyzerIsUsageError pins exit 2 for a bad -run name.
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-run", "nosuch", "."}, &out, &errs); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errs.String(), "unknown analyzer") {
+		t.Fatalf("stderr missing diagnosis: %s", errs.String())
+	}
+}
+
+// TestUsageListsRegistry keeps the help text in sync with the registry:
+// every registered analyzer appears in usage with its doc line. The driver
+// consumes registry.All() directly, so this is the flag-list/registry sync
+// check.
+func TestUsageListsRegistry(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errs); code != 2 {
+		t.Fatalf("exit = %d, want 2 for -h", code)
+	}
+	for _, a := range registry.All() {
+		if !strings.Contains(errs.String(), a.Name) {
+			t.Errorf("usage does not list analyzer %q", a.Name)
+		}
+	}
+}

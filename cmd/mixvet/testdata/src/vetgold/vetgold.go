@@ -1,0 +1,38 @@
+// Golden corpus for the mixvet driver: a fixed set of findings from two
+// analyzers, pinned byte-for-byte in testdata/golden.json to keep the -json
+// wire format stable for CI annotation tooling.
+package vetgold
+
+import "sync"
+
+type LRU[K comparable, V any] struct{ m map[K]V }
+
+func (l *LRU[K, V]) Put(k K, v V) {
+	if l.m == nil {
+		l.m = map[K]V{}
+	}
+	l.m[k] = v
+}
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+type Cache struct{ lru LRU[string, int] }
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func putRaw(c *Cache, name string, v int) {
+	c.lru.Put(name, v)
+}

@@ -1,5 +1,5 @@
-// Package analysistest runs an analyzer over a testdata package and checks
-// its diagnostics against `// want "regexp"` comments — the same contract
+// Package analysistest runs analyzers over a testdata package and checks
+// their diagnostics against `// want "regexp"` comments — the same contract
 // as golang.org/x/tools/go/analysis/analysistest, on the module's
 // dependency-free driver. Each `// want` comment expects one diagnostic on
 // its line whose message matches the quoted regular expression; a comment
@@ -12,14 +12,32 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
-	"testing"
 
 	"mix/internal/analysis"
 )
 
+// TB is the slice of testing.TB the runner needs. Production tests pass
+// *testing.T; the package's own tests inject a recorder to pin the runner's
+// failure behavior (a degraded load must fail the run, never silently pass).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+	Fatalf(format string, args ...interface{})
+	Fatal(args ...interface{})
+}
+
 // Run loads dir as one package (test files included) and checks a's
 // diagnostics against the `// want` expectations in its sources.
-func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+func Run(t TB, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	RunAnalyzers(t, dir, []*analysis.Analyzer{a})
+}
+
+// RunAnalyzers loads dir once and checks the combined diagnostics of all
+// analyzers against the `// want` expectations — the multi-analyzer contract
+// mixvet runs under, where one line may carry findings from several
+// analyzers and a waiver suppresses all of them.
+func RunAnalyzers(t TB, dir string, as []*analysis.Analyzer) {
 	t.Helper()
 	l, err := analysis.NewLoader(dir)
 	if err != nil {
@@ -31,7 +49,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		t.Fatal(err)
 	}
 	for _, u := range units {
-		runUnit(t, u, a)
+		runUnit(t, u, as)
 	}
 }
 
@@ -43,7 +61,7 @@ type expectation struct {
 	matched bool
 }
 
-func runUnit(t *testing.T, u *analysis.Package, a *analysis.Analyzer) {
+func runUnit(t TB, u *analysis.Package, as []*analysis.Analyzer) {
 	t.Helper()
 	for _, err := range u.Degraded {
 		t.Errorf("%s: load degraded: %v", u.ImportPath, err)
@@ -54,16 +72,18 @@ func runUnit(t *testing.T, u *analysis.Package, a *analysis.Analyzer) {
 	}
 
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      u.Fset,
-		Files:     u.Files,
-		Pkg:       u.Types,
-		TypesInfo: u.Info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("%s: %s: %v", u.ImportPath, a.Name, err)
+	for _, a := range as {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Types,
+			TypesInfo: u.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %s: %v", u.ImportPath, a.Name, err)
+		}
 	}
 
 	for _, d := range diags {
@@ -87,7 +107,7 @@ func runUnit(t *testing.T, u *analysis.Package, a *analysis.Analyzer) {
 	}
 }
 
-func parseWants(t *testing.T, u *analysis.Package, f *ast.File) []*expectation {
+func parseWants(t TB, u *analysis.Package, f *ast.File) []*expectation {
 	t.Helper()
 	var out []*expectation
 	for _, cg := range f.Comments {
@@ -110,7 +130,7 @@ func parseWants(t *testing.T, u *analysis.Package, f *ast.File) []*expectation {
 }
 
 // splitQuoted extracts the double-quoted strings of a want comment.
-func splitQuoted(t *testing.T, at, s string) []string {
+func splitQuoted(t TB, at, s string) []string {
 	t.Helper()
 	var out []string
 	for {

@@ -1,0 +1,53 @@
+package analysistest_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mix/internal/analysis"
+	"mix/internal/analysis/analysistest"
+	"mix/internal/analysis/lockorder"
+	"mix/internal/analysis/versionkey"
+)
+
+// TestMultiAnalyzerRun checks the combined contract mixvet runs under: two
+// analyzers over one package, findings from both matched against the same
+// want set, and one //mixvet:ignore line suppressing findings from both
+// analyzers at once.
+func TestMultiAnalyzerRun(t *testing.T) {
+	analysistest.RunAnalyzers(t, "testdata/src/multi",
+		[]*analysis.Analyzer{lockorder.Analyzer, versionkey.Analyzer})
+}
+
+// recorder implements analysistest.TB, capturing failures instead of
+// failing the real test.
+type recorder struct {
+	errors []string
+	fatals []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...interface{}) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatalf(format string, args ...interface{}) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatal(args ...interface{}) {
+	r.fatals = append(r.fatals, fmt.Sprint(args...))
+}
+
+// TestLoadFailureIsError pins the runner's failure mode for a corpus that
+// does not type-check: the degraded load must fail the run. Analyzers
+// running over partial type info report nothing and would otherwise pass.
+func TestLoadFailureIsError(t *testing.T) {
+	rec := &recorder{}
+	analysistest.Run(rec, "testdata/src/broken", versionkey.Analyzer)
+	for _, e := range rec.errors {
+		if strings.Contains(e, "load degraded") {
+			return
+		}
+	}
+	t.Fatalf("degraded load did not fail the run: errors=%q fatals=%q", rec.errors, rec.fatals)
+}

@@ -1,0 +1,7 @@
+// Corpus that parses but does not type-check: the runner must surface the
+// degraded load as a test failure instead of analyzing partial type info.
+package broken
+
+func f() int {
+	return "not an int"
+}

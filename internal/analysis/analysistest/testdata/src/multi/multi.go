@@ -1,0 +1,55 @@
+// Corpus for multi-analyzer runs: one package with findings from two
+// analyzers, including a line carrying both a lock-order edge and an
+// unversioned cache insertion, and a single waiver suppressing findings
+// from both analyzers at once.
+package multi
+
+import "sync"
+
+type LRU[K comparable, V any] struct{ m map[K]V }
+
+func (l *LRU[K, V]) Put(k K, v V) {
+	if l.m == nil {
+		l.m = map[K]V{}
+	}
+	l.m[k] = v
+}
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+type Cache struct{ lru LRU[string, int] }
+
+// Findings from two analyzers in one run.
+func ab(a *A, b *B, c *Cache, name string) {
+	a.mu.Lock()
+	b.mu.Lock()        // want "acquires B.mu while holding A.mu"
+	c.lru.Put(name, 1) // want "cache key does not fold in a data version"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "acquires A.mu while holding B.mu"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// One waiver line suppresses the findings of both analyzers at once.
+func cd(c *C, d *D, ca *Cache, name string) {
+	c.mu.Lock()
+	d.mu.Lock(); ca.lru.Put(name, 2) //mixvet:ignore startup path: single-threaded, immutable corpus
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func dc(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() //mixvet:ignore startup path: single-threaded
+	c.mu.Unlock()
+	d.mu.Unlock()
+}

@@ -1,0 +1,335 @@
+// Package goroutinelife is the compile-time generalization of the testleak
+// runtime check: every goroutine launched in the engine and wire layers must
+// have a reachable way to stop. A goroutine whose body is bounded (no
+// unconditional loop, no range over a never-closed channel) stops by
+// construction. An unbounded one — an exchange producer, a session sweep
+// clock, a drain pump — must observe cancellation: a receive or select on a
+// channel that some code in the package close()s, or <-ctx.Done(). Anything
+// else is a leak waiting for the sharded fan-out to multiply it.
+//
+// Channel identity flows through an alias analysis: struct fields, locals
+// and parameters are unified across assignments and static in-package calls,
+// so the idiom of capturing a local, publishing it to a field, and closing
+// through another local (startClock/Shutdown) resolves to one channel.
+// Cancellation may also be reached transitively through in-package callees.
+// Packages other than engine/wire and _test.go files are out of scope.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mix/internal/analysis"
+)
+
+// Analyzer is the goroutinelife check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every engine/wire goroutine needs a cancellation path: a closed channel, ctx.Done, or a bounded body",
+	Run:  run,
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	uf     map[string]string
+	objIDs map[types.Object]int
+	closed map[string]bool // union-find roots of close()d channels
+	sums   map[*types.Func]bool
+	decls  map[*types.Func]*ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if base := strings.TrimSuffix(pass.Pkg.Name(), "_test"); base != "engine" && base != "wire" {
+		return nil, nil
+	}
+	c := &checker{
+		pass:   pass,
+		uf:     map[string]string{},
+		objIDs: map[types.Object]int{},
+		closed: map[string]bool{},
+		sums:   map[*types.Func]bool{},
+		decls:  map[*types.Func]*ast.FuncDecl{},
+	}
+
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || analysis.IsTestFile(pass, fd.Pos()) {
+				continue
+			}
+			decls = append(decls, fd)
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[obj] = fd
+			}
+		}
+	}
+
+	// Pass 1: unify channel aliases across assignments and static calls,
+	// and collect close() targets.
+	var closeArgs []ast.Expr
+	for _, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						c.unify(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						c.unify(name, n.Values[i])
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+					closeArgs = append(closeArgs, n.Args[0])
+					return true
+				}
+				if f := analysis.StaticCallee(pass, n); f != nil && c.decls[f] != nil {
+					sig := f.Type().(*types.Signature)
+					for i, arg := range n.Args {
+						if i >= sig.Params().Len() {
+							break
+						}
+						if a, ok := c.canon(arg); ok {
+							if p, ok := c.objCanon(sig.Params().At(i)); ok {
+								c.union(a, p)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, arg := range closeArgs {
+		if id, ok := c.canon(arg); ok {
+			c.closed[c.find(id)] = true
+		}
+	}
+
+	// Pass 2: per-function cancellation summaries, to a fixpoint so a
+	// goroutine body may reach its stop check through helpers.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || c.sums[obj] {
+				continue
+			}
+			if c.hasCancel(fd.Body) {
+				c.sums[obj] = true
+				changed = true
+			}
+		}
+	}
+
+	// Pass 3: judge every go statement.
+	ignored := analysis.IgnoredLines(pass)
+	for _, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := c.goBody(g)
+			if body == nil || !c.unbounded(body) || c.hasCancel(body) {
+				return true
+			}
+			if !ignored[pass.Position(g.Pos()).Line] {
+				pass.Reportf(g.Pos(), "goroutine runs an unbounded loop with no reachable cancellation (closed channel, ctx.Done, or Close-registered stop): it leaks")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// goBody resolves the body a go statement runs: the literal's body, or the
+// declaration of a statically-resolved in-package callee. External callees
+// are out of scope — their lifecycle is theirs to enforce.
+func (c *checker) goBody(g *ast.GoStmt) *ast.BlockStmt {
+	if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return fl.Body
+	}
+	if f := analysis.StaticCallee(c.pass, g.Call); f != nil {
+		if fd := c.decls[f]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// unbounded reports whether body contains a loop that can run forever: a
+// `for {}`/`for cond {}` or a range over a channel nothing closes. Counted
+// and range-over-collection loops are bounded; nested goroutines and
+// closures answer for themselves.
+func (c *checker) unbounded(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Init == nil && n.Post == nil {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && !c.isClosed(n.X) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasCancel reports whether body can observe cancellation: a receive (or
+// select case, or range) over a channel the package closes, <-ctx.Done(),
+// or a call into an in-package function that can. Nested goroutines answer
+// for themselves; closures invoked here or registered (sync.Once) count for
+// this body.
+func (c *checker) hasCancel(body *ast.BlockStmt) bool {
+	has := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if has {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if call, ok := n.X.(*ast.CallExpr); ok && analysis.CalleeName(call) == "Done" {
+				has = true
+				return false
+			}
+			if c.isClosed(n.X) {
+				has = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if c.isClosed(n.X) {
+				has = true
+				return false
+			}
+		case *ast.CallExpr:
+			if f := analysis.StaticCallee(c.pass, n); f != nil && c.sums[f] {
+				has = true
+				return false
+			}
+		}
+		return true
+	})
+	return has
+}
+
+func (c *checker) isClosed(e ast.Expr) bool {
+	id, ok := c.canon(e)
+	return ok && c.closed[c.find(id)]
+}
+
+// canon maps a channel-typed expression to a stable alias-analysis node:
+// struct fields by owning type and name, locals and parameters by object.
+func (c *checker) canon(e ast.Expr) (string, bool) {
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return "", false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return "", false
+	}
+	if key, ok := analysis.FieldKey(c.pass, e); ok {
+		return "f:" + key, true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+			return c.objCanon(obj)
+		}
+	}
+	return "", false
+}
+
+func (c *checker) objCanon(obj types.Object) (string, bool) {
+	if obj == nil {
+		return "", false
+	}
+	if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+		return "", false
+	}
+	id, ok := c.objIDs[obj]
+	if !ok {
+		id = len(c.objIDs)
+		c.objIDs[obj] = id
+	}
+	return "o:" + itoa(id), true
+}
+
+func (c *checker) unify(a, b ast.Expr) {
+	ca, ok := c.canon(a)
+	if !ok {
+		return
+	}
+	cb, ok := c.canon(b)
+	if !ok {
+		return
+	}
+	c.union(ca, cb)
+}
+
+func (c *checker) find(x string) string {
+	root := x
+	for {
+		p, ok := c.uf[root]
+		if !ok || p == root {
+			break
+		}
+		root = p
+	}
+	for x != root {
+		next := c.uf[x]
+		c.uf[x] = root
+		x = next
+	}
+	return root
+}
+
+func (c *checker) union(a, b string) {
+	ra, rb := c.find(a), c.find(b)
+	if ra != rb {
+		c.uf[ra] = rb
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

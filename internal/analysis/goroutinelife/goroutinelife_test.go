@@ -1,0 +1,12 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"mix/internal/analysis/analysistest"
+	"mix/internal/analysis/goroutinelife"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	analysistest.Run(t, "testdata/src/engine", goroutinelife.Analyzer)
+}

@@ -1,0 +1,163 @@
+// Corpus for the goroutinelife analyzer: unbounded goroutines with no
+// cancellation path are flagged; close-registered stops, published local
+// stop channels, bounded bodies, closed-channel ranges, helper-reached
+// cancellation and waived lines are not.
+package engine
+
+import "sync"
+
+func work() {}
+
+func use(int) {}
+
+// Flagged: loops forever, observes nothing.
+func leakPlain() {
+	go func() { // want "no reachable cancellation"
+		for {
+			work()
+		}
+	}()
+}
+
+// Flagged: the loop selects on a channel, but nothing in the package ever
+// closes it — the select is traffic, not cancellation.
+type poller struct{ in chan int }
+
+func (p *poller) start() {
+	go p.loop() // want "no reachable cancellation"
+}
+
+func (p *poller) loop() {
+	for {
+		select {
+		case v := <-p.in:
+			use(v)
+		}
+	}
+}
+
+// Clean: the exchange pattern — the producer selects on a stop field that
+// Close() closes through a sync.Once.
+type pump struct {
+	stop chan struct{}
+	out  chan int
+	once sync.Once
+}
+
+func (p *pump) start() {
+	go p.run()
+}
+
+func (p *pump) run() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case p.out <- 1:
+		}
+	}
+}
+
+func (p *pump) Close() {
+	p.once.Do(func() { close(p.stop) })
+}
+
+// Clean: the clock pattern — the goroutine captures a local, the local is
+// published to a field, and shutdown closes it through another local. Alias
+// analysis resolves all three names to one channel.
+type server struct {
+	clockStop chan struct{}
+	ticks     int
+}
+
+func (s *server) startClock() {
+	stop := make(chan struct{})
+	s.clockStop = stop
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.ticks++
+			}
+		}
+	}()
+}
+
+func (s *server) shutdown() {
+	stop := s.clockStop
+	s.clockStop = nil
+	if stop != nil {
+		close(stop)
+	}
+}
+
+// Clean: a bounded one-shot body needs no cancellation — it stops by
+// construction.
+func oneShot(done chan struct{}) {
+	go func() {
+		work()
+		close(done)
+	}()
+}
+
+// Clean: ranging over a channel the producer closes terminates; the
+// producer itself runs a counted loop.
+func produce(in chan int, n int) {
+	for i := 0; i < n; i++ {
+		in <- i
+	}
+	close(in)
+}
+
+func fanIn(in chan int) chan int {
+	out := make(chan int)
+	go func() {
+		for v := range in {
+			out <- v
+		}
+		close(out)
+	}()
+	return out
+}
+
+func startPipeline(n int) chan int {
+	in := make(chan int)
+	go produce(in, n)
+	return fanIn(in)
+}
+
+// Clean: cancellation reached transitively through an in-package helper.
+type drain struct{ stop chan struct{} }
+
+func (d *drain) alive() bool {
+	select {
+	case <-d.stop:
+		return false
+	default:
+		return true
+	}
+}
+
+func (d *drain) pumpLoop() {
+	go func() {
+		for {
+			if !d.alive() {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+func (d *drain) Close() { close(d.stop) }
+
+// Waived: a process-lifetime pump, deliberately accepted.
+func leakWaived() {
+	go func() { //mixvet:ignore process-lifetime pump, dies with the process
+		for {
+			work()
+		}
+	}()
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -97,6 +98,81 @@ func Functions(pass *Pass) []FuncInfo {
 		}
 	}
 	return out
+}
+
+// FieldKey resolves a selector like s.mu or sess.inflight to a stable
+// "StructType.field" identity when it names a struct field, so analyzers can
+// correlate accesses to the same field across methods and receivers. Nested
+// selectors (s.srv.memTotal) key on the innermost owning struct. Package-
+// level variables key as "pkg.Name". ok is false for locals and anything the
+// (possibly degraded) type info cannot resolve.
+func FieldKey(pass *Pass, e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			for {
+				if p, ok := recv.(*types.Pointer); ok {
+					recv = p.Elem()
+					continue
+				}
+				break
+			}
+			if named, ok := recv.(*types.Named); ok {
+				return named.Obj().Name() + "." + sel.Obj().Name(), true
+			}
+			return "?." + sel.Obj().Name(), true
+		}
+		// Package-qualified variable (pkg.Var).
+		if obj, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok && !obj.IsField() && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name(), true
+		}
+	case *ast.Ident:
+		obj, ok := pass.TypesInfo.Uses[x].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return "", false
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// StaticCallee resolves a call to the *types.Func it statically invokes
+// (direct function calls and method calls through a value or pointer).
+// Indirect calls through function values and interface methods return nil —
+// conservative, like absent type info.
+func StaticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fn].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[fn]; sel != nil {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified function (pkg.Fn).
+		if f, ok := pass.TypesInfo.Uses[fn.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsTestFile reports whether pos sits in a _test.go file. Analyzers that
+// enforce production-code discipline (quota accounting, goroutine lifecycle,
+// cache-key hygiene) skip test files: fixtures poke the same fields with
+// none of the invariants.
+func IsTestFile(pass *Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Position(pos).Filename, "_test.go")
 }
 
 func recvTypeName(e ast.Expr) string {

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"mix/internal/analysis/analysistest"
+	"mix/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", lockorder.Analyzer)
+}

@@ -1,0 +1,383 @@
+// Package quotabalance checks the wire layer's session-quota accounting:
+// every charge against a quota counter (atomic Add, += on a guarded integer
+// field) must be balanced by a release on every path — including error
+// returns and panics. The PR 6 session front end keeps admission,
+// memory-quota and shedding decisions honest only while these counters stay
+// balanced; a single leaked charge pins a session's budget forever and, for
+// in-flight counters, stalls graceful drain.
+//
+// A field counts as a quota counter when the package both charges (positive
+// Add, +=, ++) and releases (negative Add, -=, --) it somewhere; counters
+// that only ever grow (stats, peaks) are out of scope. Two rules apply per
+// function scope (closures launched with `go` or stored for later are their
+// own scopes; `defer func(){...}()` bodies belong to the enclosing scope as
+// deferred events):
+//
+//   - leaky return: a return after a charge, before any release, in a
+//     function that does release later — the classic missed error path. A
+//     release before the return (rollback) or no in-function release at all
+//     (handoff to another owner, like the frame-cost charge that session
+//     release() pays back) is fine.
+//   - defer discipline: a charge and its release in the same block with
+//     calls in between — a panic in any of those calls unwinds past the
+//     release. The release belongs in a defer.
+//
+// Applies to packages named "wire"; _test.go files are skipped (fixtures
+// charge counters with no balance contract).
+package quotabalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mix/internal/analysis"
+)
+
+// Analyzer is the quotabalance check.
+var Analyzer = &analysis.Analyzer{
+	Name: "quotabalance",
+	Doc:  "session-quota charges must be released on all paths, error returns and panics included",
+	Run:  run,
+}
+
+type eventKind int
+
+const (
+	charge eventKind = iota
+	release
+)
+
+type event struct {
+	field    string
+	kind     eventKind
+	pos      token.Pos
+	deferred bool
+}
+
+// scope is one function body's worth of events and returns.
+type scope struct {
+	events  []event
+	returns []token.Pos
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if base := strings.TrimSuffix(pass.Pkg.Name(), "_test"); base != "wire" {
+		return nil, nil
+	}
+	c := &checker{pass: pass}
+
+	var scopes []*scope
+	var lists [][]ast.Stmt // every statement list, for the defer-discipline rule
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || analysis.IsTestFile(pass, fd.Pos()) {
+				continue
+			}
+			var bodies []*ast.BlockStmt
+			bodies = append(bodies, fd.Body)
+			// Closures stored or launched run as their own scopes.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok && !isDeferredLit(fd.Body, fl) {
+					bodies = append(bodies, fl.Body)
+				}
+				return true
+			})
+			for _, b := range bodies {
+				scopes = append(scopes, c.collectScope(b))
+				collectLists(b, &lists)
+			}
+		}
+	}
+
+	// A quota field is one the package both charges and releases.
+	charged, released := map[string]bool{}, map[string]bool{}
+	for _, s := range scopes {
+		for _, e := range s.events {
+			if e.kind == charge {
+				charged[e.field] = true
+			} else {
+				released[e.field] = true
+			}
+		}
+	}
+	quota := map[string]bool{}
+	for f := range charged {
+		if released[f] {
+			quota[f] = true
+		}
+	}
+	if len(quota) == 0 {
+		return nil, nil
+	}
+
+	ignored := analysis.IgnoredLines(pass)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !ignored[pass.Position(pos).Line] {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	for _, s := range scopes {
+		c.checkLeakyReturns(s, quota, report)
+	}
+	for _, list := range lists {
+		c.checkDeferDiscipline(list, quota, report)
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// isDeferredLit reports whether fl is the function literal of a
+// `defer func(){...}()` inside body — those run in the enclosing scope.
+func isDeferredLit(body *ast.BlockStmt, fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok && ds.Call.Fun == fl {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// collectScope gathers the quota events and returns of one function body,
+// treating deferred closure bodies as deferred events of this scope and
+// leaving other closures to their own scopes.
+func (c *checker) collectScope(body *ast.BlockStmt) *scope {
+	s := &scope{}
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // separate scope
+			case *ast.DeferStmt:
+				if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					walk(fl.Body, true)
+				} else {
+					walk(n.Call, true)
+				}
+				return false
+			case *ast.ReturnStmt:
+				if !deferred {
+					s.returns = append(s.returns, n.Pos())
+				}
+			default:
+				if e, ok := c.eventAt(n); ok {
+					e.deferred = deferred
+					s.events = append(s.events, e)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return s
+}
+
+// eventAt classifies a node as a quota charge or release.
+func (c *checker) eventAt(n ast.Node) (event, bool) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		// x.f.Add(delta) on a sync/atomic field.
+		sel, ok := n.Fun.(*ast.SelectorExpr)
+		if !ok || len(n.Args) != 1 {
+			return event{}, false
+		}
+		f := analysis.StaticCallee(c.pass, n)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" || f.Name() != "Add" {
+			return event{}, false
+		}
+		field, ok := analysis.FieldKey(c.pass, sel.X)
+		if !ok {
+			return event{}, false
+		}
+		kind := charge
+		if u, ok := n.Args[0].(*ast.UnaryExpr); ok && u.Op == token.SUB {
+			kind = release
+		}
+		return event{field: field, kind: kind, pos: n.Pos()}, true
+	case *ast.AssignStmt:
+		if len(n.Lhs) != 1 || (n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN) {
+			return event{}, false
+		}
+		if !isNumeric(c.pass, n.Lhs[0]) {
+			return event{}, false
+		}
+		field, ok := analysis.FieldKey(c.pass, n.Lhs[0])
+		if !ok {
+			return event{}, false
+		}
+		kind := charge
+		if n.Tok == token.SUB_ASSIGN {
+			kind = release
+		}
+		return event{field: field, kind: kind, pos: n.Pos()}, true
+	case *ast.IncDecStmt:
+		field, ok := analysis.FieldKey(c.pass, n.X)
+		if !ok || !isNumeric(c.pass, n.X) {
+			return event{}, false
+		}
+		kind := charge
+		if n.Tok == token.DEC {
+			kind = release
+		}
+		return event{field: field, kind: kind, pos: n.Pos()}, true
+	}
+	return event{}, false
+}
+
+func isNumeric(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// checkLeakyReturns flags returns that sit between a charge and its release:
+// the function does pay the quota back eventually, just not on this path.
+func (c *checker) checkLeakyReturns(s *scope, quota map[string]bool, report func(token.Pos, string, ...interface{})) {
+	fields := map[string]bool{}
+	for _, e := range s.events {
+		if quota[e.field] {
+			fields[e.field] = true
+		}
+	}
+	var names []string
+	for f := range fields {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	for _, ret := range s.returns {
+		for _, q := range names {
+			var chargeBefore token.Pos
+			releaseBefore, releaseAfter := false, false
+			for _, e := range s.events {
+				if e.field != q {
+					continue
+				}
+				switch {
+				case e.kind == charge && e.pos < ret && chargeBefore == token.NoPos:
+					chargeBefore = e.pos
+				case e.kind == release && e.pos < ret:
+					releaseBefore = true
+				case e.kind == release && e.pos > ret:
+					releaseAfter = true
+				}
+			}
+			if chargeBefore != token.NoPos && releaseAfter && !releaseBefore {
+				p := c.pass.Position(chargeBefore)
+				report(ret, "returns while %s is still charged (charge at %s:%d): this path leaks the quota",
+					q, filepath.Base(p.Filename), p.Line)
+			}
+		}
+	}
+}
+
+// collectLists gathers every statement list in body, skipping closure bodies
+// (they are separate scopes, collected when their own scope is).
+func collectLists(body *ast.BlockStmt, out *[][]ast.Stmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			*out = append(*out, n.List)
+		case *ast.CaseClause:
+			*out = append(*out, n.Body)
+		case *ast.CommClause:
+			*out = append(*out, n.Body)
+		}
+		return true
+	})
+}
+
+// checkDeferDiscipline flags a charge and its release separated by calls in
+// one straight-line block: any of those calls can panic, unwinding past the
+// release. Only the immediate statement list counts — events inside nested
+// blocks belong to those blocks.
+func (c *checker) checkDeferDiscipline(list []ast.Stmt, quota map[string]bool, report func(token.Pos, string, ...interface{})) {
+	lastCharge := map[string]token.Pos{}
+	callSince := map[string]bool{}
+	for _, stmt := range list {
+		if _, ok := stmt.(*ast.DeferStmt); ok {
+			continue // runs at unwind time; neither an intervening call nor a plain release
+		}
+		events := shallowEvents(c, stmt)
+		for _, e := range events {
+			if !quota[e.field] {
+				continue
+			}
+			if e.kind == charge {
+				lastCharge[e.field] = e.pos
+				callSince[e.field] = false
+				continue
+			}
+			if cp, ok := lastCharge[e.field]; ok && callSince[e.field] {
+				p := c.pass.Position(cp)
+				report(e.pos, "release of %s is separated from its charge (%s:%d) by calls that can panic: release it in a defer",
+					e.field, filepath.Base(p.Filename), p.Line)
+				delete(lastCharge, e.field)
+			} else {
+				delete(lastCharge, e.field)
+			}
+		}
+		if c.stmtHasOtherCall(stmt) {
+			for f := range lastCharge {
+				callSince[f] = true
+			}
+		}
+	}
+}
+
+// shallowEvents returns the quota events directly in stmt — not inside
+// nested blocks or closures, which belong to their own statement lists.
+func shallowEvents(c *checker, stmt ast.Stmt) []event {
+	var events []event
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		}
+		if e, ok := c.eventAt(n); ok {
+			events = append(events, e)
+		}
+		return true
+	})
+	return events
+}
+
+// stmtHasOtherCall reports whether stmt contains any call beyond quota
+// events themselves; nested blocks count (a call inside an if between charge
+// and release can still panic), closure bodies do not (they only run if
+// called, and the call would be seen), and atomic Add/`+=` events cannot
+// panic so they never count as panic candidates.
+func (c *checker) stmtHasOtherCall(stmt ast.Stmt) bool {
+	has := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if has {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, isEvent := c.eventAt(call); !isEvent {
+				has = true
+				return false
+			}
+		}
+		return true
+	})
+	return has
+}

@@ -1,0 +1,12 @@
+package quotabalance_test
+
+import (
+	"testing"
+
+	"mix/internal/analysis/analysistest"
+	"mix/internal/analysis/quotabalance"
+)
+
+func TestQuotaBalance(t *testing.T) {
+	analysistest.Run(t, "testdata/src/wire", quotabalance.Analyzer)
+}

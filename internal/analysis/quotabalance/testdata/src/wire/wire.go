@@ -1,0 +1,101 @@
+// Corpus for the quotabalance analyzer: leaky error returns and
+// charge/release pairs separated by panic-capable calls are flagged;
+// defer-released charges, rollback paths, ownership handoffs, grow-only
+// stats counters and waived lines are not.
+package wire
+
+import "sync/atomic"
+
+type sess struct {
+	inflight atomic.Int64
+	ops      atomic.Int64
+	mem      int64
+}
+
+type Resp struct{ ok bool }
+
+func handle() Resp { return Resp{ok: true} }
+
+// Flagged: the error return sits between the charge and the release, so the
+// error path leaks one unit of inflight forever.
+func leakyReturn(s *sess, err error) error {
+	s.inflight.Add(1)
+	if err != nil {
+		return err // want "returns while sess.inflight is still charged"
+	}
+	s.inflight.Add(-1)
+	return nil
+}
+
+// Flagged: same leak through the plain-integer `+=` spelling.
+func leakyMem(s *sess, cost int64, err error) error {
+	s.mem += cost
+	if err != nil {
+		return err // want "returns while sess.mem is still charged"
+	}
+	s.mem -= cost
+	return nil
+}
+
+// Flagged: handle() can panic, unwinding past the release; the release
+// belongs in a defer.
+func chargeAcrossCall(s *sess) Resp {
+	s.inflight.Add(1)
+	r := handle()
+	s.inflight.Add(-1) // want "release of sess.inflight is separated from its charge"
+	return r
+}
+
+// Clean: the defer releases on every path, panics included.
+func balancedDefer(s *sess) Resp {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	return handle()
+}
+
+// Clean: the deferred closure spelling of the same discipline.
+func balancedDeferClosure(s *sess) Resp {
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+	}()
+	return handle()
+}
+
+// Clean: the error path rolls the charge back before returning.
+func rollback(s *sess, err error) error {
+	s.inflight.Add(1)
+	if err != nil {
+		s.inflight.Add(-1)
+		return err
+	}
+	s.inflight.Add(-1)
+	return nil
+}
+
+// Clean: charge-side of a handoff — the release lives in releaseMem, owned
+// by whoever holds the charged entry. Neither function alone is unbalanced.
+func chargeMem(s *sess, cost int64) {
+	s.mem += cost
+}
+
+func releaseMem(s *sess, cost int64) {
+	s.mem -= cost
+}
+
+// Clean: ops only ever grows — a stats counter, not a quota.
+func countOnly(s *sess, err error) error {
+	s.ops.Add(1)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Waived: deliberately accepted, visible to grep.
+func waived(s *sess) Resp {
+	s.inflight.Add(1)
+	r := handle()
+	s.inflight.Add(-1) //mixvet:ignore harness is single-threaded and never panics
+	return r
+}

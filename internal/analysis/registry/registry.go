@@ -1,0 +1,30 @@
+// Package registry is the single source of truth for the mixvet analyzer
+// set. The driver, the docs table and the CI gate all consume this list; a
+// new analyzer lands by being appended here, and the registry test fails if
+// an analyzer package exists that the list forgot.
+package registry
+
+import (
+	"mix/internal/analysis"
+	"mix/internal/analysis/atomiccell"
+	"mix/internal/analysis/cursorclose"
+	"mix/internal/analysis/framebudget"
+	"mix/internal/analysis/goroutinelife"
+	"mix/internal/analysis/lockorder"
+	"mix/internal/analysis/quotabalance"
+	"mix/internal/analysis/versionkey"
+)
+
+// All returns every registered analyzer, in the order the driver runs and
+// documents them.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		cursorclose.Analyzer,
+		framebudget.Analyzer,
+		atomiccell.Analyzer,
+		lockorder.Analyzer,
+		quotabalance.Analyzer,
+		versionkey.Analyzer,
+		goroutinelife.Analyzer,
+	}
+}

@@ -1,0 +1,52 @@
+package registry_test
+
+import (
+	"os"
+	"testing"
+
+	"mix/internal/analysis/registry"
+)
+
+// Directories under internal/analysis that are infrastructure, not
+// analyzers.
+var notAnalyzers = map[string]bool{
+	"analysistest": true,
+	"registry":     true,
+	"testdata":     true,
+}
+
+// TestRegistryCoversAnalyzerPackages pins the registry to the filesystem:
+// every analyzer package under internal/analysis must be registered under
+// its own name, and every registered name must have its package. Adding an
+// analyzer without wiring it into the driver fails here, not in review.
+func TestRegistryCoversAnalyzerPackages(t *testing.T) {
+	entries, err := os.ReadDir("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]bool{}
+	for _, a := range registry.All() {
+		if byName[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		byName[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc line", a.Name)
+		}
+	}
+	dirs := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() || notAnalyzers[e.Name()] {
+			continue
+		}
+		dirs[e.Name()] = true
+		if !byName[e.Name()] {
+			t.Errorf("analyzer package %q exists but is not in registry.All()", e.Name())
+		}
+	}
+	for name := range byName {
+		if !dirs[name] {
+			t.Errorf("registered analyzer %q has no package under internal/analysis", name)
+		}
+	}
+}

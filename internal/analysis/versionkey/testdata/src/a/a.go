@@ -1,0 +1,104 @@
+// Corpus for the versionkey analyzer: LRU insertions keyed by raw names are
+// flagged; keys folding in a version through formatting, builder
+// accumulation or struct-field flow are clean, as are version-guarded
+// insertions and waived lines.
+package a
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type LRU[K comparable, V any] struct{ m map[K]V }
+
+func (l *LRU[K, V]) Put(k K, v V) {
+	if l.m == nil {
+		l.m = map[K]V{}
+	}
+	l.m[k] = v
+}
+
+type DB struct {
+	name string
+	ver  int64
+}
+
+func (d *DB) Version() int64 { return d.ver }
+
+type Cache struct {
+	lru LRU[string, int]
+	ver int64
+}
+
+// Flagged: a raw name key — the first write to the underlying data leaves
+// this entry stale.
+func putRaw(c *Cache, name string, v int) {
+	c.lru.Put(name, v) // want "cache key does not fold in a data version"
+}
+
+// Flagged: concatenation does not help if nothing concatenated is a version.
+func putJoined(c *Cache, owner, id string, v int) {
+	k := owner + ":" + id
+	c.lru.Put(k, v) // want "cache key does not fold in a data version"
+}
+
+// Flagged: version-less keys stay version-less through struct fields.
+type rawFill struct {
+	c   *Cache
+	key string
+}
+
+func newRawFill(c *Cache, id string) *rawFill {
+	return &rawFill{c: c, key: id}
+}
+
+func (r *rawFill) flush(v int) {
+	r.c.lru.Put(r.key, v) // want "cache key does not fold in a data version"
+}
+
+// Clean: the key folds the source version in via formatting.
+func putVersioned(c *Cache, db *DB, name string, v int) {
+	k := fmt.Sprintf("%s@%d", name, db.Version())
+	c.lru.Put(k, v)
+}
+
+// Clean: builder accumulation — feeding a versioned fragment into the
+// builder taints the builder, and String() carries it to the key.
+func putBuilt(c *Cache, db *DB, sql string, v int) {
+	var b strings.Builder
+	b.WriteString(sql)
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatInt(db.Version(), 10))
+	c.lru.Put(b.String(), v)
+}
+
+// Clean: a versioned key assigned into a struct field keeps its taint to
+// the deferred Put.
+type fill struct {
+	c   *Cache
+	key string
+}
+
+func newFill(c *Cache, db *DB, sql string) *fill {
+	k := sql + "\x01" + strconv.FormatInt(db.Version(), 10)
+	return &fill{c: c, key: k}
+}
+
+func (f *fill) flush(v int) {
+	f.c.lru.Put(f.key, v)
+}
+
+// Clean: the node-cache protocol — unversioned keys are fine when the
+// function version-checks and bails before inserting.
+func putGuarded(c *Cache, k string, ver int64, v int) {
+	if ver != 0 && c.ver != ver {
+		return
+	}
+	c.lru.Put(k, v)
+}
+
+// Waived: deliberately unversioned (immutable data), visible to grep.
+func putWaived(c *Cache, k string, v int) {
+	c.lru.Put(k, v) //mixvet:ignore corpus is immutable, keys never go stale
+}

@@ -1,0 +1,311 @@
+// Package versionkey enforces the cache-key discipline the caching layers
+// (PR 5) and the cost-based optimizer's cached scans (PR 8) maintain by
+// hand: every insertion into a cache.LRU must use a key that folds in a
+// data-version, StructVersion, or codec/options fingerprint — otherwise a
+// write leaves stale entries behind that later reads will happily serve.
+// MVCC snapshot-aware keys make this load-bearing: the key IS the snapshot
+// pin.
+//
+// The check is a package-local taint analysis. Version-ness seeds from
+// names — identifiers, fields and callees matching version/epoch/
+// fingerprint/optsKey (or exactly `ver`) — and propagates to a fixpoint
+// through assignments, string concatenation and fmt-style building, struct
+// fields set from tainted values, in-package functions returning tainted
+// expressions, and method calls that feed a tainted argument into a local
+// builder (the strings.Builder accumulation idiom). A Put whose key
+// argument is untainted is flagged, unless the inserting function first
+// checks a version guard and bails (`if ver != 0 && nc.ver != ver { return }`
+// — the node cache's protocol: unversioned keys, version-checked
+// insertions, piggybacked purges). _test.go files are exempt; fixtures
+// cache raw keys on purpose.
+package versionkey
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"mix/internal/analysis"
+)
+
+// Analyzer is the versionkey check.
+var Analyzer = &analysis.Analyzer{
+	Name: "versionkey",
+	Doc:  "cache.LRU keys must fold in a data-version/StructVersion/options fingerprint",
+	Run:  run,
+}
+
+var versionName = regexp.MustCompile(`(?i)version|epoch|fingerprint|optskey|snapshot`)
+
+func matches(name string) bool {
+	return name == "ver" || versionName.MatchString(name)
+}
+
+type tainter struct {
+	pass   *analysis.Pass
+	objs   map[types.Object]bool
+	fields map[string]bool
+	funcs  map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	t := &tainter{
+		pass:   pass,
+		objs:   map[types.Object]bool{},
+		fields: map[string]bool{},
+		funcs:  map[*types.Func]bool{},
+	}
+
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && !analysis.IsTestFile(pass, fd.Pos()) {
+				decls = append(decls, fd)
+			}
+		}
+	}
+
+	// Propagate taint to a fixpoint across the package.
+	for changed := true; changed; {
+		changed = false
+		mark := func(set map[types.Object]bool, k types.Object) {
+			if k != nil && !set[k] {
+				set[k] = true
+				changed = true
+			}
+		}
+		for _, fd := range decls {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						var rhs ast.Expr
+						if len(n.Rhs) == len(n.Lhs) {
+							rhs = n.Rhs[i]
+						} else if len(n.Rhs) == 1 {
+							rhs = n.Rhs[0]
+						}
+						if rhs == nil || !t.tainted(rhs) {
+							continue
+						}
+						switch l := lhs.(type) {
+						case *ast.Ident:
+							mark(t.objs, t.pass.TypesInfo.ObjectOf(l))
+						case *ast.SelectorExpr:
+							if key, ok := analysis.FieldKey(t.pass, l); ok && !t.fields[key] {
+								t.fields[key] = true
+								changed = true
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for i, name := range n.Names {
+						if i < len(n.Values) && t.tainted(n.Values[i]) {
+							mark(t.objs, t.pass.TypesInfo.ObjectOf(name))
+						}
+					}
+				case *ast.CompositeLit:
+					t.fieldsFromLiteral(n, func() { changed = true })
+				case *ast.CallExpr:
+					// Feeding a tainted argument into a local value's method
+					// taints the value: the strings.Builder accumulation
+					// idiom (b.WriteString(formatVersion(...))).
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					recv, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					for _, a := range n.Args {
+						if t.tainted(a) {
+							mark(t.objs, t.pass.TypesInfo.ObjectOf(recv))
+							break
+						}
+					}
+				}
+				return true
+			})
+			// Function summary: returning a tainted expression taints calls.
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj != nil && !t.funcs[obj] && t.returnsTainted(fd.Body) {
+				t.funcs[obj] = true
+				changed = true
+			}
+		}
+	}
+
+	ignored := analysis.IgnoredLines(pass)
+	for _, fd := range decls {
+		guarded := t.hasVersionGuard(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !t.isLRUPut(call) || len(call.Args) != 2 {
+				return true
+			}
+			if guarded || t.tainted(call.Args[0]) {
+				return true
+			}
+			if !ignored[pass.Position(call.Pos()).Line] {
+				pass.Reportf(call.Pos(), "cache key does not fold in a data version or fingerprint: entries go stale across writes")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isLRUPut recognizes a Put method call on a (possibly instantiated)
+// cache.LRU receiver.
+func (t *tainter) isLRUPut(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	s := t.pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	for {
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "LRU"
+}
+
+// tainted reports whether e carries version-ness.
+func (t *tainter) tainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if matches(e.Name) {
+			return true
+		}
+		if obj := t.pass.TypesInfo.ObjectOf(e); obj != nil && t.objs[obj] {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if matches(e.Sel.Name) {
+			return true
+		}
+		if key, ok := analysis.FieldKey(t.pass, e); ok && t.fields[key] {
+			return true
+		}
+	case *ast.CallExpr:
+		if matches(analysis.CalleeName(e)) {
+			return true
+		}
+		if f := analysis.StaticCallee(t.pass, e); f != nil && t.funcs[f] {
+			return true
+		}
+		// A call over tainted inputs builds a tainted value: Sprintf,
+		// strconv formatting, b.String() on a tainted builder.
+		for _, a := range e.Args {
+			if t.tainted(a) {
+				return true
+			}
+		}
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && t.tainted(sel.X) {
+			return true
+		}
+	case *ast.BinaryExpr:
+		return t.tainted(e.X) || t.tainted(e.Y)
+	case *ast.ParenExpr:
+		return t.tainted(e.X)
+	case *ast.UnaryExpr:
+		return t.tainted(e.X)
+	case *ast.IndexExpr:
+		return t.tainted(e.X) || t.tainted(e.Index)
+	}
+	return false
+}
+
+// fieldsFromLiteral taints struct fields initialized from tainted values in
+// a composite literal (&fillCursor{key: versionedKey}).
+func (t *tainter) fieldsFromLiteral(lit *ast.CompositeLit, onChange func()) {
+	typ := t.pass.TypesInfo.TypeOf(lit)
+	if typ == nil {
+		return
+	}
+	for {
+		if p, ok := typ.(*types.Pointer); ok {
+			typ = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !t.tainted(kv.Value) {
+			continue
+		}
+		fk := named.Obj().Name() + "." + key.Name
+		if !t.fields[fk] {
+			t.fields[fk] = true
+			onChange()
+		}
+	}
+}
+
+// returnsTainted reports whether any return of body (excluding nested
+// closures) yields a tainted expression.
+func (t *tainter) returnsTainted(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			if t.tainted(r) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasVersionGuard reports whether body checks a version condition and bails:
+// an if whose condition mentions version state and whose body returns. That
+// is the node cache's insertion protocol — the version check happens before
+// the Put instead of inside the key.
+func (t *tainter) hasVersionGuard(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !t.tainted(ifs.Cond) {
+			return true
+		}
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.ReturnStmt); ok {
+				found = true
+			}
+			return !found
+		})
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package versionkey_test
+
+import (
+	"testing"
+
+	"mix/internal/analysis/analysistest"
+	"mix/internal/analysis/versionkey"
+)
+
+func TestVersionKey(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", versionkey.Analyzer)
+}

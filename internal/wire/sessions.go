@@ -475,12 +475,17 @@ func (s *Server) serveReq(sess *session, req Request) Response {
 	start := s.now()
 	sess.touch(start)
 	sess.inflight.Add(1)
-	resp := sess.handle(req)
-	sess.inflight.Add(-1)
-	end := s.now()
-	sess.opNanos.Add(end.Sub(start).Nanoseconds())
-	sess.touch(end)
-	return resp
+	// Release in a defer: a panic inside handle (bad op payload, a source
+	// blowing up mid-navigation) must not leave the session pinned as
+	// in-flight forever — shedding skips in-flight sessions and Shutdown
+	// drains them, so one leaked unit stalls graceful drain for good.
+	defer func() {
+		sess.inflight.Add(-1)
+		end := s.now()
+		sess.opNanos.Add(end.Sub(start).Nanoseconds())
+		sess.touch(end)
+	}()
+	return sess.handle(req)
 }
 
 // isTemporaryNetErr matches transient accept failures (EMFILE, ECONNABORTED

@@ -8,6 +8,7 @@
 //	mixbench -exp lazy            # one experiment
 //	mixbench -exp vector -check   # E19, gated (CI smoke), writes BENCH_vector.json
 //	mixbench -exp cost -check     # E20, gated (CI smoke), writes BENCH_cost.json
+//	mixbench -exp shard -check    # E21, gated (CI smoke), writes BENCH_shard.json
 //	mixbench -n 2000 -k 1,10,100
 package main
 
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: lazy|compose|decontext|gby|ablate|vector|cost|all")
+		exp        = flag.String("exp", "all", "experiment: lazy|compose|decontext|gby|ablate|vector|cost|shard|all")
 		sizes      = flag.String("n", "100,1000", "comma-separated customer counts")
 		ordersPer  = flag.Int("orders", 5, "orders per customer")
 		browseKs   = flag.String("k", "1,10,100", "comma-separated browse depths (lazy experiment)")
@@ -32,7 +33,8 @@ func main() {
 		runs       = flag.Int("runs", 3, "repetitions per microbench timing (vector experiment)")
 		nItems     = flag.Int("items", 300, "items in the supply federation (cost experiment)")
 		nSuppliers = flag.Int("suppliers", 30, "suppliers in the supply federation (cost experiment)")
-		check      = flag.Bool("check", false, "fail unless the gated experiments (vector, cost) meet their bars")
+		nShardCust = flag.Int("shard-n", 240, "customers across the shard fleet (shard experiment)")
+		check      = flag.Bool("check", false, "fail unless the gated experiments (vector, cost, shard) meet their bars")
 	)
 	flag.Parse()
 
@@ -69,6 +71,15 @@ func main() {
 		fmt.Println(table)
 		fail(experiment.WriteCostJSON("BENCH_cost.json",
 			fmt.Sprintf("%d items, %d suppliers, 2 servers", *nItems, *nSuppliers), result))
+		if *check {
+			fail(result.Check())
+		}
+	}
+	if *exp == "all" || *exp == "shard" {
+		table, result := experiment.Sharded(*nShardCust, *runs)
+		fmt.Println(table)
+		fail(experiment.WriteShardJSON("BENCH_shard.json",
+			fmt.Sprintf("%d customers, 3-shard wire fleet, 2ms injected latency", *nShardCust), result))
 		if *check {
 			fail(result.Check())
 		}

@@ -35,6 +35,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,7 +47,7 @@ import (
 func main() {
 	var (
 		sessions = flag.Int("sessions", 1000, "concurrent client sessions to run")
-		addr     = flag.String("addr", "", "remote mixserve address (empty = in-process server over net.Pipe)")
+		addr     = flag.String("addr", "", "remote mixserve address(es), comma-separated for a shard fleet (empty = in-process server over net.Pipe)")
 		n        = flag.Int("n", 200, "generated customers (in-process server)")
 		walk     = flag.Int("walk", 20, "siblings each session visits")
 		think    = flag.Duration("think", 0, "max jittered think time between steps")
@@ -65,7 +66,11 @@ func main() {
 	)
 	flag.Parse()
 
-	var dial func() (io.ReadWriteCloser, error)
+	// dialFor hands session i its transport; with a comma-separated -addr
+	// the sessions round-robin across the fleet's shards and shardOf labels
+	// each session for the per-shard breakdown of the report.
+	var dialFor func(i int) func() (io.ReadWriteCloser, error)
+	shardOf := func(int) string { return "" }
 	var srv *wire.Server
 	var serveWG sync.WaitGroup // in-process ServeConn goroutines
 	if *addr == "" {
@@ -81,7 +86,7 @@ func main() {
 		srv.SessionMem = *sessionMem
 		srv.SessionOpTime = *sessionOp
 		srv.RetryAfter = *retryAfter
-		dial = func() (io.ReadWriteCloser, error) {
+		dial := func() (io.ReadWriteCloser, error) {
 			cc, sc := net.Pipe()
 			serveWG.Add(1)
 			go func() {
@@ -90,9 +95,19 @@ func main() {
 			}()
 			return cc, nil
 		}
+		dialFor = func(int) func() (io.ReadWriteCloser, error) { return dial }
 	} else {
-		a := *addr
-		dial = func() (io.ReadWriteCloser, error) { return net.Dial("tcp", a) }
+		addrs := strings.Split(*addr, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		dialFor = func(i int) func() (io.ReadWriteCloser, error) {
+			a := addrs[i%len(addrs)]
+			return func() (io.ReadWriteCloser, error) { return net.Dial("tcp", a) }
+		}
+		if len(addrs) > 1 {
+			shardOf = func(i int) string { return addrs[i%len(addrs)] }
+		}
 	}
 
 	// Peak-heap sampler: "bounded memory" is an acceptance criterion, so
@@ -128,7 +143,8 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = runSession(i, dial, *walk, *think, *batch, *retries, *seed)
+			results[i] = runSession(i, dialFor(i), *walk, *think, *batch, *retries, *seed)
+			results[i].shard = shardOf(i)
 		}(i)
 	}
 	wg.Wait()
@@ -165,6 +181,15 @@ func main() {
 				st.Accepted, st.RejectedBusy, st.Shed, st.IdleEvicted, st.OpTimeEvicted, st.Resumed, st.Peak, rep.ShedRate)
 		}
 		fmt.Printf("  peak heap %.1f MiB\n", float64(peakHeap)/(1<<20))
+		for _, s := range rep.Shards {
+			breakers := make([]string, 0, len(s.Breakers))
+			for state, n := range s.Breakers {
+				breakers = append(breakers, fmt.Sprintf("%s×%d", state, n))
+			}
+			sort.Strings(breakers)
+			fmt.Printf("  shard %-21s %4d sessions %7d RTs %9d B sent %11d B received  breakers %s\n",
+				s.Addr, s.Sessions, s.Requests, s.BytesSent, s.BytesRecv, strings.Join(breakers, " "))
+		}
 		for msg, count := range rep.Errors {
 			fmt.Printf("  error ×%d: %s\n", count, msg)
 		}
@@ -183,6 +208,8 @@ type sessionResult struct {
 	err       error
 	disrupted bool // saw a busy rejection, an eviction resume, or a redial
 	stats     wire.WireStats
+	breaker   string // client breaker state at session end
+	shard     string // fleet shard address this session was assigned ("" = single server)
 }
 
 // runSession returns by name: the deferred stats harvest below must land in
@@ -201,6 +228,7 @@ func runSession(i int, dial func() (io.ReadWriteCloser, error), walk int, think 
 	})
 	defer func() {
 		res.stats = c.WireStats()
+		res.breaker = c.BreakerSnapshot().State.String()
 		res.disrupted = res.stats.BusyRetries > 0 || res.stats.Resumes > 0 || res.stats.Redials > 0
 		_ = c.Close()
 	}()
@@ -279,7 +307,23 @@ type report struct {
 
 	Server *mix.SessionStats `json:"server,omitempty"`
 
+	// Shards is the per-shard breakdown when -addr names a fleet: the wire
+	// counters of every session round-robined onto that shard, merged.
+	Shards []shardLoad `json:"shards,omitempty"`
+
 	Errors map[string]int `json:"errors,omitempty"`
+}
+
+// shardLoad is one fleet shard's merged client-side wire counters.
+type shardLoad struct {
+	Addr        string         `json:"addr"`
+	Sessions    int            `json:"sessions"`
+	Requests    int64          `json:"requests"`
+	BytesSent   int64          `json:"bytes_sent"`
+	BytesRecv   int64          `json:"bytes_recv"`
+	BusyRetries int64          `json:"busy_retries"`
+	Redials     int64          `json:"redials"`
+	Breakers    map[string]int `json:"breakers"` // breaker state -> session count
 }
 
 func buildReport(results []sessionResult, wall time.Duration, peakHeap uint64, st mix.SessionStats, haveServer bool) report {
@@ -290,8 +334,23 @@ func buildReport(results []sessionResult, wall time.Duration, peakHeap uint64, s
 		Errors:    map[string]int{},
 	}
 	var opens, navs []int64
+	byShard := map[string]*shardLoad{}
 	for i := range results {
 		r := &results[i]
+		if r.shard != "" {
+			s := byShard[r.shard]
+			if s == nil {
+				s = &shardLoad{Addr: r.shard, Breakers: map[string]int{}}
+				byShard[r.shard] = s
+			}
+			s.Sessions++
+			s.Requests += r.stats.RequestsSent
+			s.BytesSent += r.stats.BytesSent
+			s.BytesRecv += r.stats.BytesRecv
+			s.BusyRetries += r.stats.BusyRetries
+			s.Redials += r.stats.Redials
+			s.Breakers[r.breaker]++
+		}
 		if r.err == nil {
 			rep.Completed++
 		} else {
@@ -327,6 +386,10 @@ func buildReport(results []sessionResult, wall time.Duration, peakHeap uint64, s
 			rep.ShedRate = float64(st.Shed+st.IdleEvicted+st.OpTimeEvicted) / float64(st.Accepted)
 		}
 	}
+	for _, s := range byShard {
+		rep.Shards = append(rep.Shards, *s)
+	}
+	sort.Slice(rep.Shards, func(i, j int) bool { return rep.Shards[i].Addr < rep.Shards[j].Addr })
 	if len(rep.Errors) == 0 {
 		rep.Errors = nil
 	}

@@ -4,6 +4,13 @@
 //	mixql 'FOR $C IN document(&root1)/customer RETURN $C'
 //	mixql -data auction -xml 'FOR $K IN document(&auction.camera)/camera WHERE $K/price < 300 RETURN $K'
 //	echo 'FOR $R IN document(rootv)/CustRec RETURN $R' | mixql -view
+//	mixql -shards :7713,:7714,:7715 -stats 'FOR $R IN document(&fleet)/CustRec RETURN $R'
+//
+// With -shards, the listed mixserve shard processes (each started with
+// -shard-index/-shard-count) are mounted as one sharded view "&fleet"; the
+// in-process coordinator fans scans out across them, merges in document
+// order, and routes point queries on the partition key to the single
+// matching shard. -stats then prints the per-shard wire breakdown.
 //
 // Data sets: paper (the Figure 2 customers/orders database, default),
 // scale (a generated 1000-customer database), auction (the introduction's
@@ -20,6 +27,7 @@ import (
 	"strings"
 
 	"mix"
+	"mix/internal/shard"
 	"mix/internal/wire"
 	"mix/internal/workload"
 )
@@ -41,9 +49,15 @@ func main() {
 		costExp = flag.Bool("cost", false, "print the executable plan with per-operator cost estimates (EXPLAIN)")
 		remote  = flag.String("remote", "", "run against a mixserve at this address instead of in-process")
 		binWire = flag.Bool("binary-wire", false, "negotiate the binary wire codec (remote mode)")
+		shards  = flag.String("shards", "", "comma-separated mixserve shard addresses: mount the fleet as one sharded rootv view")
+		shardSp = flag.String("shard-spec", "", "fleet partitioning spec, e.g. hash:3@CustRec.customer.id (default hash:<K> on the key path)")
 	)
 	flag.Parse()
 
+	if *shards != "" {
+		runFleet(strings.Split(*shards, ","), *shardSp, *binWire, *stats, *asXML, readQuery())
+		return
+	}
 	if *remote != "" {
 		runRemote(*remote, *binWire, *stats, readQuery())
 		return
@@ -179,6 +193,63 @@ func runRemote(addr string, binWire, stats bool, query string) {
 		sort.Strings(ops)
 		for _, op := range ops {
 			fmt.Fprintf(os.Stderr, "--   %-12s %7d B sent %9d B received\n", op, st.OpBytesSent[op], st.OpBytesRecv[op])
+		}
+	}
+}
+
+// runFleet mounts a fleet of mixserve shards as the single sharded view
+// "&fleet" (each shard serving its slice of rootv) and runs the query
+// through an in-process coordinator mediator. With -stats the merged
+// per-shard wire breakdown is printed: round trips, bytes each way, breaker
+// state and routing counts per member, so a pruned point query is visible
+// as a single routed shard.
+func runFleet(addrs []string, specStr string, binWire, stats, asXML bool, query string) {
+	if specStr == "" {
+		specStr = fmt.Sprintf("hash:%d@CustRec.customer.id", len(addrs))
+	}
+	spec, err := shard.ParseSpec(specStr)
+	fail(err)
+	var members []shard.Member
+	for i, addr := range addrs {
+		c, err := wire.DialConfig(strings.TrimSpace(addr), wire.ClientConfig{BinaryWire: binWire})
+		fail(err)
+		defer c.Close()
+		root, err := c.Open("rootv")
+		fail(err)
+		id := fmt.Sprintf("shard%d", i)
+		members = append(members, shard.Member{ID: id, Doc: wire.NewRemoteDoc("&fleet/"+id, root)})
+	}
+	med := mix.NewWith(mix.Config{Parallelism: len(members) + 1, Prefetch: true})
+	d, err := med.AddShardedSource("&fleet", spec, members, shard.Config{})
+	fail(err)
+
+	doc, err := med.Query(query)
+	fail(err)
+	tree := doc.Materialize()
+	fail(doc.Err())
+	if asXML {
+		fmt.Println(mix.SerializeXML(tree))
+	} else {
+		fmt.Print(tree.Pretty())
+	}
+	if stats {
+		st := d.Stats()
+		fmt.Fprintf(os.Stderr, "-- fleet: %d scan(s), %d pruned\n", st.Scans, st.Pruned)
+		ws := med.WireStats()
+		health := med.ShardHealth()["&fleet"]
+		ids := make([]string, 0, len(members))
+		for _, m := range members {
+			ids = append(ids, m.ID)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			w := ws["&fleet/"+id]
+			state := w.Breaker
+			if h, ok := health[id]; ok && h.State != "" && h.State != state {
+				state = h.State
+			}
+			fmt.Fprintf(os.Stderr, "--   %-8s %4d RTs %8d B sent %10d B received  routed %d  breaker %s\n",
+				id, w.RoundTrips, w.BytesSent, w.BytesRecv, st.Routes[id], state)
 		}
 	}
 }

@@ -3,6 +3,12 @@
 // clients navigating remotely).
 //
 //	mixserve -addr :7713 -n 1000
+//	mixserve -addr :7714 -n 1000 -shard-index 0 -shard-count 3
+//
+// With -shard-count K > 1 the server hosts one horizontal slice of the
+// database (customers partitioned on id, orders co-partitioned), so K such
+// processes form a fleet that a mixql -shards client mounts as one sharded
+// view.
 //
 // Clients connect with the internal/wire client library; navigation
 // evaluates QDOM steps remotely, with sibling scans batched adaptively
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"mix"
+	"mix/internal/shard"
 	"mix/internal/wire"
 	"mix/internal/workload"
 )
@@ -54,6 +61,9 @@ func main() {
 		sessionOp   = flag.Duration("session-optime", 0, "per-session cumulative op-time quota before eviction (0 = unlimited)")
 		retryAfter  = flag.Duration("retry-after", 0, "retry hint carried by busy responses (0 = built-in default)")
 		drainWait   = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight ops on SIGINT/SIGTERM")
+
+		shardIndex = flag.Int("shard-index", 0, "serve shard i of a -shard-count fleet (customers partitioned on id)")
+		shardCount = flag.Int("shard-count", 1, "total shards in the fleet; 1 serves the whole database")
 	)
 	flag.Parse()
 
@@ -65,7 +75,20 @@ func main() {
 		BatchExec:      *batchExec,
 		PathIndex:      *pathIndex,
 	})
-	med.AddRelationalSource(workload.ScaleDB("db1", *n, 5, 42))
+	if *shardCount > 1 {
+		// One horizontal slice of the fleet: this server keeps the
+		// customers hash(id) mod shard-count assigns to shard-index, with
+		// their orders co-partitioned, so K mixserve shards union to the
+		// unsharded database. A mixql -shards client mounts the fleet as
+		// one sharded view.
+		if *shardIndex < 0 || *shardIndex >= *shardCount {
+			fail(fmt.Errorf("shard-index %d out of range for %d shards", *shardIndex, *shardCount))
+		}
+		spec := shard.Spec{Mode: shard.ModeHash, N: *shardCount}
+		med.AddRelationalSource(workload.ShardScaleDB("db1", *n, 5, 42, spec, *shardIndex))
+	} else {
+		med.AddRelationalSource(workload.ScaleDB("db1", *n, 5, 42))
+	}
 	fail(med.AliasSource("&root1", "&db1.customer"))
 	fail(med.AliasSource("&root2", "&db1.orders"))
 	_, err := med.DefineView("rootv", workload.Q1)
@@ -73,7 +96,12 @@ func main() {
 
 	l, err := net.Listen("tcp", *addr)
 	fail(err)
-	fmt.Printf("mixserve: CustRec view over %d customers on %s\n", *n, l.Addr())
+	if *shardCount > 1 {
+		fmt.Printf("mixserve: CustRec view, shard %d/%d of %d customers on %s\n",
+			*shardIndex, *shardCount, *n, l.Addr())
+	} else {
+		fmt.Printf("mixserve: CustRec view over %d customers on %s\n", *n, l.Addr())
+	}
 	srv := wire.NewServer(med)
 	srv.MaxHandles = *maxHandles
 	srv.MaxBatch = *maxBatch

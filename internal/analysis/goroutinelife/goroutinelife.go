@@ -41,7 +41,7 @@ type checker struct {
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if base := strings.TrimSuffix(pass.Pkg.Name(), "_test"); base != "engine" && base != "wire" {
+	if base := strings.TrimSuffix(pass.Pkg.Name(), "_test"); base != "engine" && base != "wire" && base != "shard" {
 		return nil, nil
 	}
 	c := &checker{

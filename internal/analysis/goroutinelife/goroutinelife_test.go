@@ -10,3 +10,7 @@ import (
 func TestGoroutineLife(t *testing.T) {
 	analysistest.Run(t, "testdata/src/engine", goroutinelife.Analyzer)
 }
+
+func TestGoroutineLifeShardFanOut(t *testing.T) {
+	analysistest.Run(t, "testdata/src/shard", goroutinelife.Analyzer)
+}

@@ -1,0 +1,65 @@
+// Corpus mirroring the shard coordinator's fan-out: per-member pump
+// goroutines feeding a bounded window channel. A pump that selects on the
+// fan-out's stop channel (closed exactly once by Close) is clean; a pump
+// that only writes to the window has no cancellation path once the consumer
+// stops draining, and is flagged.
+package shard
+
+import "sync"
+
+type member struct{ id string }
+
+func (m *member) next() (int, bool) { return 0, true }
+
+// Clean: the coordinator pump — every send selects on fan.stop, which
+// Close() closes through a sync.Once, so an abandoned cursor unblocks all
+// pumps.
+type fan struct {
+	members []*member
+	stop    chan struct{}
+	once    sync.Once
+}
+
+func (f *fan) start(m *member, window int) chan int {
+	ch := make(chan int, window)
+	go func() {
+		defer close(ch)
+		for {
+			v, ok := m.next()
+			if !ok {
+				return
+			}
+			select {
+			case ch <- v:
+			case <-f.stop:
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+func (f *fan) Close() {
+	f.once.Do(func() { close(f.stop) })
+}
+
+// Flagged: the same fan-out with a blind send — when the merge loop stops
+// pulling, every pump wedges on the full window forever.
+type leakyFan struct {
+	members []*member
+}
+
+func (f *leakyFan) start(m *member, window int) chan int {
+	ch := make(chan int, window)
+	go func() { // want "no reachable cancellation"
+		defer close(ch)
+		for {
+			v, ok := m.next()
+			if !ok {
+				return
+			}
+			ch <- v
+		}
+	}()
+	return ch
+}

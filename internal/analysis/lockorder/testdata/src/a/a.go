@@ -156,3 +156,54 @@ func w21(x *W1, y *W2) {
 	x.mu.Unlock()
 	y.mu.Unlock()
 }
+
+type Coord struct {
+	mu    sync.Mutex
+	scans int
+}
+
+type Shard struct {
+	mu   sync.Mutex
+	open bool
+}
+
+// Clean: the shard fan-out discipline — the coordinator notes its stats
+// under Coord.mu and releases it before touching any member, and a member
+// never calls back up into the coordinator while holding its own lock.
+func (c *Coord) scan(members []*Shard) {
+	c.mu.Lock()
+	c.scans++
+	c.mu.Unlock()
+	for _, m := range members {
+		m.mu.Lock()
+		m.open = true
+		m.mu.Unlock()
+	}
+}
+
+// Inversion: routing under the coordinator lock while a member's health
+// probe calls back up into the coordinator — the deadlock the fan-out
+// avoids by keeping stats updates lock-local.
+func (c *Coord) route(m *Shard) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m.probe() // want "acquires Shard.mu while holding Coord.mu"
+}
+
+func (m *Shard) probe() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.open = true
+}
+
+func (m *Shard) report(c *Coord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c.bump() // want "acquires Coord.mu while holding Shard.mu"
+}
+
+func (c *Coord) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scans++
+}

@@ -107,6 +107,21 @@ func ScanTrips(n float64, batch int) float64 {
 	return 1 + 1 + math.Ceil((n-1)/float64(batch)) + 1
 }
 
+// FanOutWins decides fan-out vs. single-stream for a sharded scan: opening
+// k member cursors concurrently pays when the per-member critical path
+// (trips on rows/k elements) undercuts the sequential trips by half again,
+// covering the coordinator's merge overhead and the extra opens. Unknown
+// sizes (rows < 0) favour fan-out — hiding latency is the default bet.
+func FanOutWins(rows float64, k, batch int) bool {
+	if k <= 1 {
+		return false
+	}
+	if rows < 0 {
+		return true
+	}
+	return ScanTrips(rows, batch) >= 1.5*ScanTrips(rows/float64(k), batch)
+}
+
 func (e *Estimator) est(op xmas.Op, binds map[xmas.Var]colBind) Estimate {
 	switch o := op.(type) {
 	case *xmas.MkSrc:
@@ -255,6 +270,15 @@ func (e *Estimator) estMkSrc(o *xmas.MkSrc, binds map[xmas.Var]colBind) Estimate
 		return out
 	}
 	if d, err := e.Cat.Resolve(o.SrcID); err == nil {
+		if sc, ok := d.(source.ShardCounter); ok {
+			// A sharded view ships every element, but the member scans run
+			// concurrently: the critical path is the largest partition's
+			// scan, with one open per contacted member up front.
+			k := float64(sc.ShardCount())
+			out.Shipped = rows
+			out.Trips = k + ScanTrips(rows/k, e.Batch)
+			return out
+		}
 		if _, remote := d.(source.HealthReporter); remote {
 			// A federated document ships every element over the wire.
 			out.Shipped = rows

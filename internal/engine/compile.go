@@ -30,6 +30,10 @@ type Ctx struct {
 	// them into annotation elements. Shared by nested/inner contexts and
 	// guarded by exec.mu (producer goroutines append concurrently).
 	partial *[]*source.SourceUnavailableError
+	// hints carries the program's per-scan analysis results (order
+	// observability, key constraints) to openCursor; nil unless the catalog
+	// holds a scan-aware coordinator document.
+	hints map[*xmas.MkSrc]scanHint
 }
 
 // NewCtx builds a top-level execution context over a catalog.
@@ -38,7 +42,7 @@ func NewCtx(cat *source.Catalog) *Ctx {
 }
 
 func (c *Ctx) withNested(v xmas.Var, s SetVal) *Ctx {
-	child := &Ctx{cat: c.cat, metrics: c.metrics, opts: c.opts, exec: c.exec, partial: c.partial, nested: map[xmas.Var]SetVal{}}
+	child := &Ctx{cat: c.cat, metrics: c.metrics, opts: c.opts, exec: c.exec, partial: c.partial, hints: c.hints, nested: map[xmas.Var]SetVal{}}
 	for k, val := range c.nested {
 		child.nested[k] = val
 	}
@@ -172,47 +176,57 @@ func compileMkSrc(o *xmas.MkSrc, cat *source.Catalog) (compiledOp, error) {
 		var cur source.ElemCursor
 		var done bool
 		return cursorFunc(func() (Tuple, bool, error) {
-			if done {
-				return Tuple{}, false, nil
-			}
-			if cur == nil {
-				c, err := openCursor(ctx, doc)
-				if err != nil {
-					if ctx.noteUnavailable(err) {
+			for {
+				if done {
+					return Tuple{}, false, nil
+				}
+				if cur == nil {
+					c, err := openCursor(ctx, o, doc)
+					if err != nil {
 						done = true
+						if ctx.noteUnavailable(err) {
+							return Tuple{}, false, nil
+						}
+						return Tuple{}, false, err
+					}
+					cur = c
+				}
+				n, ok, err := cur.Next()
+				if err != nil {
+					// Under the partial-result policy a source lost
+					// mid-scan ends the scan instead of failing the query;
+					// the result loop annotates the truncation. A resilient
+					// cursor (a shard fan-out) keeps delivering the
+					// surviving members' children, so the scan continues
+					// past the note; any other cursor is finished: close it
+					// so handles and read-ahead goroutines are released at
+					// the point of failure.
+					if ctx.noteUnavailable(err) {
+						if _, resilient := cur.(source.ResilientCursor); resilient {
+							continue
+						}
+						done = true
+						cur.Close()
 						return Tuple{}, false, nil
 					}
 					done = true
+					cur.Close()
 					return Tuple{}, false, err
 				}
-				cur = c
-			}
-			n, ok, err := cur.Next()
-			if err != nil {
-				// Under the partial-result policy a source lost mid-scan
-				// ends the scan instead of failing the query; the result
-				// loop annotates the truncation. Either way the source
-				// cursor is finished: close it so handles and read-ahead
-				// goroutines are released at the point of failure.
-				done = true
-				cur.Close()
-				if ctx.noteUnavailable(err) {
+				if !ok {
+					// Exhausted scans release their cursor immediately
+					// rather than waiting for the execution to be
+					// abandoned.
+					done = true
+					cur.Close()
 					return Tuple{}, false, nil
 				}
-				return Tuple{}, false, err
+				e := FromNode(n).WithProv(&Provenance{
+					Var:   o.Out,
+					Fixed: []Fixation{{Var: o.Out, ID: string(n.ID)}},
+				})
+				return NewTuple(schema, []Value{NodeVal{E: e}}), true, nil
 			}
-			if !ok {
-				// Exhausted scans release their cursor immediately rather
-				// than waiting for the execution to be abandoned.
-				done = true
-				cur.Close()
-				return Tuple{}, false, nil
-			}
-			e := FromNode(n).WithProv(&Provenance{
-				Var:   o.Out,
-				Fixed: []Fixation{{Var: o.Out, ID: string(n.ID)}},
-			})
-			return NewTuple(schema, []Value{NodeVal{E: e}}), true, nil
 		})
 	}, nil
 }
@@ -227,7 +241,31 @@ func compileMkSrc(o *xmas.MkSrc, cat *source.Catalog) (compiledOp, error) {
 // read-ahead run on a producer goroutine, so distinct federated sources are
 // contacted concurrently. Parallel runs imply prefetch — overlapping source
 // access is their point — and register the cursor for force-close.
-func openCursor(ctx *Ctx, doc source.Doc) (source.ElemCursor, error) {
+//
+// Scan-aware coordinators (source.ScanOpener — sharded views) preempt all
+// of that: they receive the execution knobs plus the compile-time scan
+// hints (order observability, pushed key constraints) and decide fan-out,
+// merge order and member pruning themselves.
+func openCursor(ctx *Ctx, o *xmas.MkSrc, doc source.Doc) (source.ElemCursor, error) {
+	if so, ok := doc.(source.ScanOpener); ok {
+		h, hinted := ctx.hints[o]
+		cur, err := so.OpenScan(source.ScanOpts{
+			BatchSize: ctx.opts.BatchSize,
+			Prefetch:  ctx.opts.Prefetch || ctx.exec.parallel(),
+			Parallel:  ctx.exec.parallel(),
+			// Without analysis (fragments, raw Compile callers) order must
+			// be assumed observable.
+			Ordered: !hinted || h.ordered,
+			Keys:    h.keys,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ctx.exec.parallel() {
+			ctx.exec.track(cur)
+		}
+		return cur, nil
+	}
 	if ctx.exec.parallel() {
 		if ao, ok := doc.(source.AsyncOpener); ok {
 			cur := ao.OpenAsync(ctx.opts.BatchSize, true)

@@ -70,6 +70,9 @@ type Program struct {
 	rootID string
 	cat    *source.Catalog
 	opts   Options
+	// hints are the per-scan analysis results handed to scan-aware
+	// coordinator documents at open time; nil for ordinary catalogs.
+	hints map[*xmas.MkSrc]scanHint
 }
 
 // Compile validates and compiles a plan with default (fail-fast) options.
@@ -101,7 +104,10 @@ func CompileWith(plan xmas.Op, cat *source.Catalog, opts Options) (*Program, err
 	if rootID != "" && rootID[0] != '&' {
 		rootID = "&" + rootID
 	}
-	return &Program{plan: plan, inner: inner, v: td.V, rootID: rootID, cat: cat, opts: opts}, nil
+	return &Program{
+		plan: plan, inner: inner, v: td.V, rootID: rootID, cat: cat, opts: opts,
+		hints: analyzeScans(plan, cat),
+	}, nil
 }
 
 // Plan returns the plan the program was compiled from.
@@ -170,6 +176,7 @@ func (p *Program) newCtx() *Ctx {
 	ctx := NewCtx(p.cat)
 	ctx.opts = p.opts
 	ctx.exec = newExecState(p.opts)
+	ctx.hints = p.hints
 	if p.opts.PartialResults {
 		ctx.partial = &[]*source.SourceUnavailableError{}
 	}
@@ -185,6 +192,7 @@ func (p *Program) startFrom(parent *Ctx) *Result {
 	ctx.opts = parent.opts
 	ctx.exec = parent.exec
 	ctx.partial = parent.partial
+	ctx.hints = p.hints
 	return p.start(ctx)
 }
 

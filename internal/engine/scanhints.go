@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"mix/internal/source"
+	"mix/internal/xmas"
+)
+
+// scanHint is what compile-time plan analysis knows about one document
+// scan, handed to source.ScanOpener documents (sharded views) at open time.
+type scanHint struct {
+	// ordered reports the scan's child order can be observed in the final
+	// answer (xmas.OrderDemand on the mkSrc output variable).
+	ordered bool
+	// keys are equalities every delivered child must satisfy
+	// (xmas.ScanConstraints) — the coordinator's pruning input.
+	keys []source.KeyConstraint
+}
+
+// analyzeScans runs the order-demand and key-constraint analyses over a
+// verified plan, but only when the catalog actually holds a ScanOpener
+// document — for ordinary catalogs the map stays nil and execution is
+// bit-for-bit the pre-shard code path.
+func analyzeScans(plan xmas.Op, cat *source.Catalog) map[*xmas.MkSrc]scanHint {
+	var mks []*xmas.MkSrc
+	collectMkSrcs(plan, &mks)
+	relevant := false
+	for _, o := range mks {
+		if d, err := cat.Resolve(o.SrcID); err == nil {
+			if _, ok := d.(source.ScanOpener); ok {
+				relevant = true
+				break
+			}
+		}
+	}
+	if !relevant {
+		return nil
+	}
+	dem := xmas.OrderDemand(plan)
+	consts := xmas.ScanConstraints(plan)
+	hints := make(map[*xmas.MkSrc]scanHint, len(mks))
+	for _, o := range mks {
+		h := scanHint{ordered: dem[o][o.Out]}
+		for _, k := range consts[o] {
+			h.keys = append(h.keys, source.KeyConstraint{Path: k.Path, Value: k.Value})
+		}
+		hints[o] = h
+	}
+	return hints
+}
+
+// collectMkSrcs gathers every document-backed mkSrc, nested plans included.
+func collectMkSrcs(op xmas.Op, out *[]*xmas.MkSrc) {
+	if op == nil {
+		return
+	}
+	switch o := op.(type) {
+	case *xmas.MkSrc:
+		if o.In != nil {
+			collectMkSrcs(o.In, out)
+			return
+		}
+		*out = append(*out, o)
+	case *xmas.GetD:
+		collectMkSrcs(o.In, out)
+	case *xmas.Select:
+		collectMkSrcs(o.In, out)
+	case *xmas.Project:
+		collectMkSrcs(o.In, out)
+	case *xmas.OrderBy:
+		collectMkSrcs(o.In, out)
+	case *xmas.Join:
+		collectMkSrcs(o.L, out)
+		collectMkSrcs(o.R, out)
+	case *xmas.SemiJoin:
+		collectMkSrcs(o.L, out)
+		collectMkSrcs(o.R, out)
+	case *xmas.CrElt:
+		collectMkSrcs(o.In, out)
+	case *xmas.Cat:
+		collectMkSrcs(o.In, out)
+	case *xmas.GroupBy:
+		collectMkSrcs(o.In, out)
+	case *xmas.Apply:
+		collectMkSrcs(o.In, out)
+		collectMkSrcs(o.Plan, out)
+	case *xmas.TD:
+		collectMkSrcs(o.In, out)
+	}
+}

@@ -1,0 +1,202 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"mix"
+	"mix/internal/faultnet"
+	"mix/internal/shard"
+	"mix/internal/wire"
+	"mix/internal/workload"
+)
+
+// E21: sharded virtual views. A fleet of K lower mediators each serves one
+// horizontal slice of the scale database's customer view over the wire
+// protocol, every connection carrying a fixed injected latency so scans are
+// latency-bound — the regime sharding targets. The upper mediator mounts
+// the fleet as one sharded source and runs the same full scan against K=1
+// and K=3, plus a decontextualized point query against the 3-shard fleet
+// to observe routing.
+
+// shardFleet is one mounted fleet plus the handles the experiment measures.
+type shardFleet struct {
+	med     *mix.Mediator
+	doc     *shard.Doc
+	closers []io.Closer
+}
+
+func (f *shardFleet) Close() {
+	for _, c := range f.closers {
+		_ = c.Close()
+	}
+}
+
+// buildShardFleet stands up K lower mediators over net.Pipe connections
+// wrapped with a deterministic per-operation latency, and an upper mediator
+// serving their union as the sharded source "&fleet".
+func buildShardFleet(k, nCustomers int, latency time.Duration, cfg mix.Config) *shardFleet {
+	spec := shard.Spec{Mode: shard.ModeHash, N: k, KeyPath: []string{"customer", "id"}}
+	var members []shard.Member
+	f := &shardFleet{}
+	for i := 0; i < k; i++ {
+		slice := workload.ShardScaleDB("db1", nCustomers, 1, 20020208, spec, i)
+		lower := mix.New()
+		lower.AddRelationalSource(slice)
+		mustView(lower.DefineView("custs",
+			"FOR $C IN document(&db1.customer)/customer RETURN $C"))
+		server, client := net.Pipe()
+		srv := wire.NewServer(lower)
+		go func() {
+			defer server.Close()
+			_ = srv.ServeConn(server)
+		}()
+		conn := faultnet.Wrap(client, faultnet.Config{
+			Seed: 20020208, LatencyProb: 1, Latency: latency,
+		})
+		c := wire.NewClientConfig(conn, wire.ClientConfig{OpTimeout: 30 * time.Second})
+		f.closers = append(f.closers, c)
+		root, err := c.Open("custs")
+		must(err)
+		id := fmt.Sprintf("shard%d", i)
+		members = append(members, shard.Member{ID: id, Doc: wire.NewRemoteDoc("&fleet/"+id, root)})
+	}
+	f.med = mix.NewWith(cfg)
+	doc, err := f.med.AddShardedSource("&fleet", spec, members, shard.Config{})
+	must(err)
+	f.doc = doc
+	return f
+}
+
+// ShardResult is experiment E21's measured output.
+type ShardResult struct {
+	Customers    int     `json:"customers"`
+	LatencyMS    float64 `json:"latency_ms"`
+	Wall1MS      float64 `json:"scan_1shard_ms"`
+	Wall3MS      float64 `json:"scan_3shard_ms"`
+	Speedup      float64 `json:"speedup"`
+	Identical    bool    `json:"answers_identical"`
+	PointMembers int     `json:"point_query_members"`
+	PointPruned  bool    `json:"point_query_pruned"`
+}
+
+// Sharded runs experiment E21: the same latency-bound customer scan against
+// a 1-shard and a 3-shard fleet (best of runs), answer parity between the
+// two, and a point query on the partition key against the 3-shard fleet,
+// counting how many members the coordinator routed it to.
+func Sharded(nCustomers, runs int) (Table, ShardResult) {
+	const latency = 2 * time.Millisecond
+	cfg := mix.Config{Parallelism: 8, BatchSize: 8, Prefetch: true}
+	scanQ := "FOR $C IN document(&fleet)/customer RETURN $C"
+	pointQ := `FOR $C IN document(&fleet)/customer WHERE $C/id/data() = "C000007" RETURN $C`
+
+	r := ShardResult{Customers: nCustomers, LatencyMS: float64(latency) / float64(time.Millisecond)}
+	t := Table{
+		Title: fmt.Sprintf("E21 sharded views (%d customers, %.0fms wire latency)", nCustomers, r.LatencyMS),
+		Note: "a 3-shard fleet must scan at least 2x faster than 1 shard, answer\n" +
+			"byte-identically, and route a point query on the key to exactly 1 shard",
+		Header: []string{"fleet", "scan wall", "speedup", "parity"},
+	}
+
+	measure := func(k int) (string, time.Duration) {
+		f := buildShardFleet(k, nCustomers, latency, cfg)
+		defer f.Close()
+		var answer string
+		best := time.Duration(0)
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			doc, err := f.med.Query(scanQ)
+			must(err)
+			m := doc.Materialize()
+			must(doc.Err())
+			wall := time.Since(start)
+			if best == 0 || wall < best {
+				best = wall
+			}
+			answer = mix.SerializeXML(m)
+		}
+		return answer, best
+	}
+
+	ans1, wall1 := measure(1)
+	ans3, wall3 := measure(3)
+	r.Wall1MS = float64(wall1) / float64(time.Millisecond)
+	r.Wall3MS = float64(wall3) / float64(time.Millisecond)
+	if wall3 > 0 {
+		r.Speedup = float64(wall1) / float64(wall3)
+	}
+	r.Identical = ans1 == ans3
+
+	// Point query against a fresh 3-shard fleet: count the members the
+	// coordinator's router touched.
+	f := buildShardFleet(3, nCustomers, latency, cfg)
+	defer f.Close()
+	before := f.doc.Stats()
+	doc, err := f.med.Query(pointQ)
+	must(err)
+	doc.Materialize()
+	must(doc.Err())
+	after := f.doc.Stats()
+	for id, n := range after.Routes {
+		if n > before.Routes[id] {
+			r.PointMembers++
+		}
+	}
+	r.PointPruned = after.Pruned > before.Pruned
+
+	t.Rows = append(t.Rows,
+		[]string{"1 shard", fmt.Sprintf("%.1fms", r.Wall1MS), "1.0x", "-"},
+		[]string{"3 shards", fmt.Sprintf("%.1fms", r.Wall3MS), fmt.Sprintf("%.1fx", r.Speedup),
+			fmt.Sprintf("identical=%v", r.Identical)},
+		[]string{"point query", fmt.Sprintf("%d member(s)", r.PointMembers), "-",
+			fmt.Sprintf("pruned=%v", r.PointPruned)},
+	)
+	return t, r
+}
+
+// Check gates CI on E21's claims: byte parity between fleet sizes, at least
+// a 2x scan speedup from 3-way fan-out on latency-bound sources, and
+// point-query routing that touches exactly one shard.
+func (r ShardResult) Check() error {
+	if !r.Identical {
+		return fmt.Errorf("shard check: 1-shard and 3-shard scans answered differently")
+	}
+	if r.Speedup < 2.0 {
+		return fmt.Errorf("shard check: 3-shard speedup %.2fx < 2.0x (1 shard %.1fms, 3 shards %.1fms)",
+			r.Speedup, r.Wall1MS, r.Wall3MS)
+	}
+	if r.PointMembers != 1 {
+		return fmt.Errorf("shard check: point query touched %d members, want exactly 1", r.PointMembers)
+	}
+	if !r.PointPruned {
+		return fmt.Errorf("shard check: point query was not pruned")
+	}
+	return nil
+}
+
+// WriteShardJSON records the measured result with run metadata, in the
+// style of the other BENCH_*.json baselines.
+func WriteShardJSON(path, workload string, r ShardResult) error {
+	doc := struct {
+		Suite    string      `json:"suite"`
+		Workload string      `json:"workload"`
+		Command  string      `json:"command"`
+		Date     string      `json:"date"`
+		Results  ShardResult `json:"results"`
+	}{
+		Suite:    "mixbench shard (E21)",
+		Workload: workload,
+		Command:  "go run ./cmd/mixbench -exp shard -check",
+		Date:     time.Now().Format("2006-01-02"),
+		Results:  r,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,559 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mix/internal/cost"
+	"mix/internal/source"
+	"mix/internal/xtree"
+)
+
+// DefaultWindow is the per-member read-ahead window of a parallel fan-out:
+// how many elements a member pump may run ahead of the merge before it
+// blocks (backpressure).
+const DefaultWindow = 16
+
+// Member is one shard of a coordinator document: a partition id and the
+// document serving that partition's children (typically a wire.RemoteDoc
+// over a lower mixserve, or a local doc in tests).
+type Member struct {
+	ID  string
+	Doc source.Doc
+}
+
+// Config tunes a coordinator document; the zero value is usable.
+type Config struct {
+	// Fanout caps how many member cursor opens may be in flight at once
+	// (the open round trip is the expensive burst); 0 means no cap. Pumps
+	// release the slot once their cursor is open, so a cap below the member
+	// count can never deadlock the ordered merge.
+	Fanout int
+	// Window is the per-member read-ahead window in parallel mode; 0 means
+	// DefaultWindow.
+	Window int
+}
+
+// Stats counts how scans were routed across the fleet.
+type Stats struct {
+	// Scans counts OpenScan calls (Open included).
+	Scans int64
+	// Pruned counts scans whose key constraints let the coordinator skip
+	// at least one member.
+	Pruned int64
+	// Routes counts, per member id, the scans routed to that member.
+	Routes map[string]int64
+}
+
+// Doc is a sharded virtual view: a source document whose top-level
+// children are partitioned across member documents by a Spec. It
+// implements source.ScanOpener, so the engine hands it scan context —
+// order observability, pushed key constraints, parallelism — and the
+// coordinator prunes members and picks a merge strategy from it.
+type Doc struct {
+	id      string
+	spec    Spec
+	members []Member
+	fanout  int
+	window  int
+
+	mu     sync.Mutex
+	scans  int64
+	pruned int64
+	routes map[string]int64
+}
+
+// NewDoc builds a coordinator over members, which must line up with the
+// spec: member i serves the children the spec assigns to shard i.
+func NewDoc(id string, spec Spec, members []Member, cfg Config) (*Doc, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(members) != spec.Shards() {
+		return nil, fmt.Errorf("shard: %s: spec addresses %d shards, got %d members", id, spec.Shards(), len(members))
+	}
+	seen := map[string]bool{}
+	for _, m := range members {
+		if m.ID == "" || m.Doc == nil {
+			return nil, fmt.Errorf("shard: %s: members need an id and a doc", id)
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("shard: %s: duplicate member id %s", id, m.ID)
+		}
+		seen[m.ID] = true
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Doc{
+		id: id, spec: spec, members: members,
+		fanout: cfg.Fanout, window: window,
+		routes: map[string]int64{},
+	}, nil
+}
+
+// RootID is the coordinator document's object id.
+func (d *Doc) RootID() string { return d.id }
+
+// Spec returns the partitioning spec.
+func (d *Doc) Spec() Spec { return d.spec }
+
+// Members returns the member list (index == shard index).
+func (d *Doc) Members() []Member { return d.members }
+
+// ShardCount reports the fleet size to the cost model.
+func (d *Doc) ShardCount() int { return len(d.members) }
+
+// Open scans all members sequentially with an order-preserving merge — the
+// conservative path for callers without scan context.
+func (d *Doc) Open() (source.ElemCursor, error) {
+	return d.OpenScan(source.ScanOpts{Ordered: true})
+}
+
+// OpenScan fans the scan out across the members the key constraints cannot
+// rule out. With opts.Parallel (and a fan-out the cost model predicts to
+// win) every member gets a pump goroutine with a bounded window; otherwise
+// members are drained on the caller's goroutine. Ordered scans k-way merge
+// the member streams on the partition key, so the global document order is
+// reproduced exactly; unordered scans interleave deterministically
+// (round-robin), never by arrival timing.
+func (d *Doc) OpenScan(opts source.ScanOpts) (source.ElemCursor, error) {
+	live := d.route(opts.Keys)
+	d.noteScan(live)
+	c := &fanCursor{
+		d:       d,
+		ordered: opts.Ordered,
+		stop:    make(chan struct{}),
+		state:   make([]supState, len(live)),
+		keys:    make([]string, len(live)),
+		heads:   make([]*xtree.Node, len(live)),
+	}
+	if opts.Parallel && len(live) > 1 && d.fanOutWins(len(live), opts.BatchSize) {
+		var sem chan struct{}
+		if d.fanout > 0 && d.fanout < len(live) {
+			sem = make(chan struct{}, d.fanout)
+		}
+		for _, m := range live {
+			p := &pumpSupplier{
+				m:    m,
+				ch:   make(chan pumpItem, d.window),
+				done: make(chan struct{}),
+			}
+			c.sups = append(c.sups, p)
+			c.pumps = append(c.pumps, p)
+			c.startPump(p, opts, sem)
+		}
+		return c, nil
+	}
+	for _, m := range live {
+		c.sups = append(c.sups, &seqSupplier{m: m, opts: opts})
+	}
+	return c, nil
+}
+
+// route returns the members whose partition can satisfy every key
+// constraint that speaks about the partition key. Constraints on other
+// paths are ignored; two constraints pinning different shards mean no
+// member can match.
+func (d *Doc) route(keys []source.KeyConstraint) []Member {
+	target := -1
+	for _, k := range keys {
+		if !pathEq(k.Path, d.spec.KeyPath) {
+			continue
+		}
+		s := d.spec.ShardOf(k.Value)
+		if target == -1 {
+			target = s
+		} else if target != s {
+			return nil
+		}
+	}
+	if target == -1 {
+		return d.members
+	}
+	return d.members[target : target+1]
+}
+
+func pathEq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fanOutWins consults the cost model: spawning k pumps only pays when the
+// per-member critical path undercuts draining one merged stream.
+func (d *Doc) fanOutWins(k, batch int) bool {
+	rows := -1.0
+	if n, ok := d.EstRows(); ok {
+		rows = float64(n)
+	}
+	return cost.FanOutWins(rows, k, batch)
+}
+
+func (d *Doc) noteScan(live []Member) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.scans++
+	if len(live) < len(d.members) {
+		d.pruned++
+	}
+	for _, m := range live {
+		d.routes[m.ID]++
+	}
+}
+
+// Stats snapshots the routing counters.
+func (d *Doc) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	routes := make(map[string]int64, len(d.routes))
+	for id, n := range d.routes {
+		routes[id] = n
+	}
+	return Stats{Scans: d.scans, Pruned: d.pruned, Routes: routes}
+}
+
+// EstRows sums the members' size hints; unknown when any member has none.
+func (d *Doc) EstRows() (int64, bool) {
+	var total int64
+	for _, m := range d.members {
+		sh, ok := m.Doc.(source.SizeHinted)
+		if !ok {
+			return 0, false
+		}
+		n, ok := sh.EstRows()
+		if !ok {
+			return 0, false
+		}
+		total += n
+	}
+	return total, true
+}
+
+// Health reports the worst member state, so one open breaker anywhere in
+// the fleet surfaces on the coordinator id.
+func (d *Doc) Health() source.Health {
+	worst := source.Health{State: "closed"}
+	for _, m := range d.members {
+		hr, ok := m.Doc.(source.HealthReporter)
+		if !ok {
+			continue
+		}
+		if h := hr.Health(); stateRank(h.State) > stateRank(worst.State) {
+			worst = h
+		}
+	}
+	return worst
+}
+
+func stateRank(s string) int {
+	switch s {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ShardHealth reports per-member availability.
+func (d *Doc) ShardHealth() map[string]source.Health {
+	out := map[string]source.Health{}
+	for _, m := range d.members {
+		if hr, ok := m.Doc.(source.HealthReporter); ok {
+			out[m.ID] = hr.Health()
+		}
+	}
+	return out
+}
+
+// ShardTransferStats reports per-member wire counters.
+func (d *Doc) ShardTransferStats() map[string]source.TransferStats {
+	out := map[string]source.TransferStats{}
+	for _, m := range d.members {
+		if tr, ok := m.Doc.(source.TransferReporter); ok {
+			out[m.ID] = tr.TransferStats()
+		}
+	}
+	return out
+}
+
+// memberErr qualifies a member failure with the member's identity. An
+// availability failure stays typed (so the partial-result policy can
+// annotate exactly which shard dropped out); anything else is terminal.
+func (d *Doc) memberErr(m Member, err error) error {
+	var sue *source.SourceUnavailableError
+	if errors.As(err, &sue) {
+		return &source.SourceUnavailableError{Source: d.id + "[" + m.ID + "]", Err: err}
+	}
+	return fmt.Errorf("shard: member %s of %s: %w", m.ID, d.id, err)
+}
+
+// openMember opens one member's cursor with the scan's batching knobs. In
+// pump mode the pump goroutine itself is the read-ahead, so the member is
+// opened with a prefetching batch window rather than another async layer.
+func openMember(m Member, opts source.ScanOpts, inPump bool) (source.ElemCursor, error) {
+	if !inPump && opts.Parallel {
+		if ao, ok := m.Doc.(source.AsyncOpener); ok {
+			return ao.OpenAsync(opts.BatchSize, true), nil
+		}
+	}
+	if bo, ok := m.Doc.(source.BatchOpener); ok && (opts.BatchSize != 0 || opts.Prefetch || inPump) {
+		return bo.OpenBatch(opts.BatchSize, opts.Prefetch || inPump)
+	}
+	return m.Doc.Open()
+}
+
+type supState int
+
+const (
+	supPending supState = iota // no head buffered yet
+	supHave                    // heads[i] holds the next element
+	supDone                    // exhausted or dead
+)
+
+// supplier is one member's element stream as the merge sees it, backed by
+// either a direct cursor (sequential mode) or a pump channel.
+type supplier interface {
+	next() (*xtree.Node, bool, error)
+	member() Member
+}
+
+// seqSupplier drains a member on the consumer's goroutine, opening lazily.
+type seqSupplier struct {
+	m      Member
+	opts   source.ScanOpts
+	cur    source.ElemCursor
+	closed bool
+}
+
+func (s *seqSupplier) member() Member { return s.m }
+
+func (s *seqSupplier) next() (*xtree.Node, bool, error) {
+	if s.closed {
+		return nil, false, nil
+	}
+	if s.cur == nil {
+		cur, err := openMember(s.m, s.opts, false)
+		if err != nil {
+			s.closed = true
+			return nil, false, err
+		}
+		s.cur = cur
+	}
+	n, ok, err := s.cur.Next()
+	if err != nil || !ok {
+		s.close()
+	}
+	return n, ok, err
+}
+
+func (s *seqSupplier) close() {
+	if !s.closed && s.cur != nil {
+		s.cur.Close()
+	}
+	s.closed = true
+}
+
+type pumpItem struct {
+	n   *xtree.Node
+	err error
+}
+
+// pumpSupplier reads a member through a bounded channel a pump goroutine
+// fills; a closed channel means the member is drained.
+type pumpSupplier struct {
+	m    Member
+	ch   chan pumpItem
+	done chan struct{}
+}
+
+func (p *pumpSupplier) member() Member { return p.m }
+
+func (p *pumpSupplier) next() (*xtree.Node, bool, error) {
+	it, ok := <-p.ch
+	if !ok {
+		return nil, false, nil
+	}
+	if it.err != nil {
+		return nil, false, it.err
+	}
+	return it.n, true, nil
+}
+
+// fanCursor merges the member streams. It implements
+// source.ResilientCursor: a member lost mid-scan surfaces once as a typed
+// error, then the merge keeps delivering the survivors' elements.
+type fanCursor struct {
+	d       *Doc
+	ordered bool
+	sups    []supplier
+	pumps   []*pumpSupplier
+	state   []supState
+	heads   []*xtree.Node
+	keys    []string // normalized merge key per buffered head
+	rr      int
+	failed  error
+
+	stop chan struct{}
+	once sync.Once
+}
+
+// Resilient marks the cursor as able to continue past member loss.
+func (c *fanCursor) Resilient() {}
+
+func (c *fanCursor) Next() (*xtree.Node, bool, error) {
+	if c.failed != nil {
+		return nil, false, c.failed
+	}
+	if c.ordered {
+		return c.nextOrdered()
+	}
+	return c.nextRR()
+}
+
+// nextOrdered refills every pending head, then emits the minimum-key head.
+// Per-member streams are already globally ordered (each member ships an
+// ordered subset of one totally-ordered child list), so the k-way merge
+// reproduces the unsharded document order exactly.
+func (c *fanCursor) nextOrdered() (*xtree.Node, bool, error) {
+	for i := range c.sups {
+		for c.state[i] == supPending {
+			n, ok, err := c.sups[i].next()
+			if err != nil {
+				return nil, false, c.supFailed(i, err)
+			}
+			if !ok {
+				c.state[i] = supDone
+				break
+			}
+			c.heads[i] = n
+			c.keys[i] = NormalizeKey(KeyOf(n, c.d.spec.KeyPath))
+			c.state[i] = supHave
+		}
+	}
+	min := -1
+	for i := range c.sups {
+		if c.state[i] != supHave {
+			continue
+		}
+		if min == -1 || c.keys[i] < c.keys[min] {
+			min = i
+		}
+	}
+	if min == -1 {
+		return nil, false, nil
+	}
+	n := c.heads[min]
+	c.heads[min] = nil
+	c.state[min] = supPending
+	return n, true, nil
+}
+
+// nextRR interleaves the member streams round-robin — deterministic for a
+// given fleet content, independent of pump timing.
+func (c *fanCursor) nextRR() (*xtree.Node, bool, error) {
+	for scanned := 0; scanned < len(c.sups); {
+		i := c.rr % len(c.sups)
+		if c.state[i] == supDone {
+			c.rr++
+			scanned++
+			continue
+		}
+		n, ok, err := c.sups[i].next()
+		if err != nil {
+			return nil, false, c.supFailed(i, err)
+		}
+		if !ok {
+			c.state[i] = supDone
+			c.rr++
+			scanned++
+			continue
+		}
+		c.rr++
+		return n, true, nil
+	}
+	return nil, false, nil
+}
+
+// supFailed marks supplier i dead and qualifies its error. Availability
+// failures leave the cursor usable (resilience); anything else poisons it.
+func (c *fanCursor) supFailed(i int, err error) error {
+	c.state[i] = supDone
+	werr := c.d.memberErr(c.sups[i].member(), err)
+	var sue *source.SourceUnavailableError
+	if !errors.As(werr, &sue) {
+		c.failed = werr
+	}
+	return werr
+}
+
+// Close cancels every pump, joins them, and releases sequential cursors.
+// Idempotent.
+func (c *fanCursor) Close() {
+	c.once.Do(func() { close(c.stop) })
+	for _, p := range c.pumps {
+		<-p.done
+	}
+	for _, s := range c.sups {
+		if seq, ok := s.(*seqSupplier); ok {
+			seq.close()
+		}
+	}
+}
+
+// startPump launches the producer goroutine for one member: acquire an
+// open slot, open the member cursor, release the slot, then pump elements
+// into the bounded window until drained or cancelled.
+func (c *fanCursor) startPump(p *pumpSupplier, opts source.ScanOpts, sem chan struct{}) {
+	go func() {
+		defer close(p.done)
+		defer close(p.ch)
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+			case <-c.stop:
+				return
+			}
+		}
+		cur, err := openMember(p.m, opts, true)
+		if sem != nil {
+			<-sem
+		}
+		if err != nil {
+			select {
+			case p.ch <- pumpItem{err: err}:
+			case <-c.stop:
+			}
+			return
+		}
+		defer cur.Close()
+		for {
+			n, ok, err := cur.Next()
+			if err != nil {
+				select {
+				case p.ch <- pumpItem{err: err}:
+				case <-c.stop:
+				}
+				return
+			}
+			if !ok {
+				return
+			}
+			select {
+			case p.ch <- pumpItem{n: n}:
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,211 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mix/internal/engine"
+	"mix/internal/relstore"
+	"mix/internal/shard"
+	"mix/internal/source"
+	"mix/internal/testleak"
+	"mix/internal/workload"
+	"mix/internal/wrapper"
+	"mix/internal/xmas"
+	"mix/internal/xmlio"
+)
+
+// The randomized equivalence suite: the plan-generator corpus runs against a
+// 3-shard fleet of paper-database slices and every serialized answer must be
+// byte-identical to the unsharded catalog's. The fleet's order contract is
+// key order — a coordinator merging member streams cannot reconstruct an
+// arbitrary insertion interleaving, only the total order of the partition
+// key — so both sides scan a key-sorted copy of the paper database, making
+// the unsharded scan order exactly the order the k-way merge reproduces.
+
+// sortedPaperDB is PaperDB with every relation's rows sorted on its key
+// column.
+func sortedPaperDB() *relstore.DB {
+	db := workload.PaperDB()
+	out := relstore.NewDB(db.Name)
+	for _, rel := range db.Relations() {
+		t, _ := db.Table(rel)
+		out.MustCreate(t.Schema)
+		rows, _ := db.RowsSnapshot(rel)
+		key := t.Schema.Key[0]
+		sort.Slice(rows, func(i, j int) bool { return rows[i][key].String() < rows[j][key].String() })
+		for _, row := range rows {
+			out.MustInsert(rel, row...)
+		}
+	}
+	return out
+}
+
+// unshardedCatalog registers db the way workload.PaperCatalog does.
+func unshardedCatalog(t *testing.T, db *relstore.DB) *source.Catalog {
+	t.Helper()
+	cat := source.NewCatalog()
+	cat.AddRelDB(db)
+	for alias, rel := range map[string]string{"&root1": "customer", "&root2": "orders"} {
+		if err := cat.Alias(alias, wrapper.RootID(db.Name, rel)); err != nil {
+			t.Fatalf("alias %s: %v", alias, err)
+		}
+	}
+	return cat
+}
+
+// shardedCatalog splits db into nShards horizontal slices keyed on each
+// relation's key column and registers a coordinator Doc per paper view:
+// &root1 partitioned on customer/id, &root2 on orders/orid. Each slice lives
+// in its own catalog, standing in for a member mediator; resultCache turns
+// that member's relational result cache on.
+func shardedCatalog(t *testing.T, db *relstore.DB, nShards int, cfg shard.Config, resultCache bool) (*source.Catalog, *shard.Doc, *shard.Doc) {
+	t.Helper()
+	specC := shard.Spec{Mode: shard.ModeHash, N: nShards, KeyPath: []string{"customer", "id"}}
+	specO := shard.Spec{Mode: shard.ModeHash, N: nShards, KeyPath: []string{"orders", "orid"}}
+	var membC, membO []shard.Member
+	for i := 0; i < nShards; i++ {
+		slice := workload.ShardDB(db, shard.Spec{Mode: shard.ModeHash, N: nShards}, i,
+			func(rel string, s relstore.Schema, row []relstore.Datum) string {
+				return row[s.Key[0]].String()
+			})
+		mini := source.NewCatalog()
+		mini.AddRelDB(slice)
+		if resultCache {
+			mini.EnableResultCache(64)
+		}
+		id := fmt.Sprintf("shard%d", i)
+		for rel, membs := range map[string]*[]shard.Member{"customer": &membC, "orders": &membO} {
+			d, err := mini.Resolve(wrapper.RootID(db.Name, rel))
+			if err != nil {
+				t.Fatalf("resolve %s slice %d: %v", rel, i, err)
+			}
+			*membs = append(*membs, shard.Member{ID: id, Doc: d})
+		}
+	}
+	d1, err := shard.NewDoc("&root1", specC, membC, cfg)
+	if err != nil {
+		t.Fatalf("customer coordinator: %v", err)
+	}
+	d2, err := shard.NewDoc("&root2", specO, membO, cfg)
+	if err != nil {
+		t.Fatalf("orders coordinator: %v", err)
+	}
+	cat := source.NewCatalog()
+	cat.AddDoc("&root1", d1)
+	cat.AddDoc("&root2", d2)
+	return cat, d1, d2
+}
+
+func runPlan(t *testing.T, trial int, plan xmas.Op, cat *source.Catalog, opts engine.Options) string {
+	t.Helper()
+	prog, err := engine.CompileWith(plan, cat, opts)
+	if err != nil {
+		t.Fatalf("trial %d: compile: %v\nplan:\n%s", trial, err, xmas.Format(plan))
+	}
+	res := prog.Run()
+	m := res.Materialize()
+	if err := res.Err(); err != nil {
+		t.Fatalf("trial %d: run: %v\nplan:\n%s", trial, err, xmas.Format(plan))
+	}
+	return xmlio.Serialize(m)
+}
+
+// TestRandomizedShardEquivalence runs the 150-plan generator corpus against
+// the 3-shard fleet, once with every execution knob off (sequential lazy
+// member scans, ordered merge) and once with the parallel/batch knobs on
+// (pump goroutines, batched windows, prefetch). The ground truth is always
+// the knobs-off unsharded run. The corpus's equality selections on key
+// columns must also have exercised shard pruning.
+func TestRandomizedShardEquivalence(t *testing.T) {
+	db := sortedPaperDB()
+	base := unshardedCatalog(t, db)
+	knobSets := []struct {
+		name string
+		opts engine.Options
+	}{
+		{"knobs-off", engine.Options{}},
+		{"knobs-on", engine.Options{Parallelism: 4, BatchExec: 64, Prefetch: true, BatchSize: 4}},
+	}
+	for _, ks := range knobSets {
+		t.Run(ks.name, func(t *testing.T) {
+			defer testleak.Check(t)()
+			scat, d1, d2 := shardedCatalog(t, db, 3, shard.Config{}, false)
+			rng := rand.New(rand.NewSource(20020208))
+			executed := 0
+			for trial := 0; trial < 150; trial++ {
+				plan := workload.RandomPlan(rng)
+				if err := xmas.Verify(plan); err != nil {
+					continue
+				}
+				want := runPlan(t, trial, plan, base, engine.Options{})
+				got := runPlan(t, trial, plan, scat, ks.opts)
+				if got != want {
+					t.Fatalf("trial %d: sharded answer diverged\nplan:\n%s\ngot:\n%s\nwant:\n%s",
+						trial, xmas.Format(plan), got, want)
+				}
+				executed++
+			}
+			if executed < 100 {
+				t.Fatalf("only %d/150 generated plans executed; generator skew?", executed)
+			}
+			s1, s2 := d1.Stats(), d2.Stats()
+			if s1.Scans == 0 || s2.Scans == 0 {
+				t.Fatalf("coordinators not exercised: %+v %+v", s1, s2)
+			}
+			if s1.Pruned+s2.Pruned == 0 {
+				t.Fatalf("no scan was pruned across the corpus: %+v %+v", s1, s2)
+			}
+		})
+	}
+}
+
+// TestRandomizedShardEquivalenceCached re-runs the corpus through the
+// caching pipeline: every plan compiles twice against a shared plan cache
+// over the sharded catalog, with each member mediator's relational result
+// cache enabled, and both passes must reproduce the cache-off unsharded
+// bytes. Sharding must be invisible to the cache contract too.
+func TestRandomizedShardEquivalenceCached(t *testing.T) {
+	defer testleak.Check(t)()
+	db := sortedPaperDB()
+	base := unshardedCatalog(t, db)
+	scat, d1, _ := shardedCatalog(t, db, 3, shard.Config{}, true)
+	pc := engine.NewPlanCache(256)
+	opts := engine.Options{Parallelism: 4, BatchExec: 64, Prefetch: true, BatchSize: 4}
+	rng := rand.New(rand.NewSource(20020208))
+	executed := 0
+	for trial := 0; trial < 150; trial++ {
+		plan := workload.RandomPlan(rng)
+		if err := xmas.Verify(plan); err != nil {
+			continue
+		}
+		want := runPlan(t, trial, plan, base, engine.Options{})
+		for pass := 0; pass < 2; pass++ {
+			prog, err := pc.CompileWith(plan, scat, opts)
+			if err != nil {
+				t.Fatalf("trial %d pass %d: compile: %v", trial, pass, err)
+			}
+			res := prog.Run()
+			m := res.Materialize()
+			if err := res.Err(); err != nil {
+				t.Fatalf("trial %d pass %d: run: %v\nplan:\n%s", trial, pass, err, xmas.Format(plan))
+			}
+			if got := xmlio.Serialize(m); got != want {
+				t.Fatalf("trial %d pass %d: cached sharded answer diverged\nplan:\n%s\ngot:\n%s\nwant:\n%s",
+					trial, pass, xmas.Format(plan), got, want)
+			}
+		}
+		executed++
+	}
+	if executed < 100 {
+		t.Fatalf("only %d/150 generated plans executed; generator skew?", executed)
+	}
+	if st := pc.Stats(); st.Hits == 0 {
+		t.Fatal("plan cache never hit")
+	}
+	if d1.Stats().Scans == 0 {
+		t.Fatal("customer coordinator not exercised")
+	}
+}

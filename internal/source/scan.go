@@ -1,0 +1,133 @@
+package source
+
+// Scan-policy interfaces for documents whose top-level children live behind
+// a coordinator — today the sharded virtual views of internal/shard, which
+// fan a scan out across N member mediators. The engine describes what it
+// knows about a scan (order observability, pushed-down key constraints,
+// execution knobs) in ScanOpts; a ScanOpener uses that to prune members and
+// pick a merge strategy. Plain documents ignore all of this and keep the
+// Open/BatchOpener/AsyncOpener paths, so runs without a sharded source are
+// byte- and wire-identical to before these interfaces existed.
+
+// KeyConstraint is one equality the query applies to every top-level child
+// a scan delivers, extracted by the engine's plan analysis. Path == nil
+// constrains the child's object id (the decontextualized $v = &oid form);
+// otherwise Path is a downward label path starting at the child's own label
+// and Value must equal the atomized value at that path.
+type KeyConstraint struct {
+	Path  []string
+	Value string
+}
+
+// ScanOpts describes one scan of a document's top-level children.
+type ScanOpts struct {
+	// BatchSize and Prefetch mirror the engine options handed to
+	// BatchOpener-capable sources.
+	BatchSize int
+	Prefetch  bool
+	// Parallel reports that the execution runs with Parallelism > 1, so the
+	// opener may spawn producer goroutines; the returned cursor is then
+	// registered for force-close like any async cursor.
+	Parallel bool
+	// Ordered reports that the relative order of the delivered children can
+	// be observed in the final answer (xmas.OrderDemand). When false the
+	// opener may deliver children in any deterministic order.
+	Ordered bool
+	// Keys are equalities every delivered child must satisfy; the opener
+	// may use them to avoid contacting partitions that cannot match. They
+	// are a routing hint, never a filter: delivering non-matching children
+	// is harmless (the plan still filters), dropping matching ones is not.
+	Keys []KeyConstraint
+}
+
+// ScanOpener is implemented by coordinator documents that can exploit scan
+// context. The engine prefers OpenScan over every other open path when a
+// document implements it.
+type ScanOpener interface {
+	OpenScan(opts ScanOpts) (ElemCursor, error)
+}
+
+// ResilientCursor marks cursors that can keep delivering elements after
+// returning a *SourceUnavailableError — a shard fan-out surviving the loss
+// of one member. Under the partial-result policy the engine notes each such
+// error and keeps pulling instead of ending the scan, so every lost member
+// gets its own annotation while the survivors' children still arrive.
+type ResilientCursor interface {
+	ElemCursor
+	// Resilient is a marker; it performs no work.
+	Resilient()
+}
+
+// TransferStats is a wire-transfer snapshot of one remote endpoint, in
+// source-layer terms so coordinators can aggregate fleet traffic without
+// importing the wire package.
+type TransferStats struct {
+	RoundTrips int64
+	BytesSent  int64
+	BytesRecv  int64
+	Redials    int64
+	Resumes    int64
+	// Breaker is the endpoint's circuit-breaker state ("closed", "open",
+	// "half-open"), empty when the transport has no breaker.
+	Breaker    string
+	BinaryWire bool
+}
+
+// TransferReporter is implemented by documents reached over a counted
+// transport (wire.RemoteDoc).
+type TransferReporter interface {
+	TransferStats() TransferStats
+}
+
+// ShardHealthReporter exposes per-member availability of a coordinator
+// document; Catalog.Health flattens the members in as "<doc>/<member>".
+type ShardHealthReporter interface {
+	ShardHealth() map[string]Health
+}
+
+// ShardTransferReporter exposes per-member transfer counters of a
+// coordinator document.
+type ShardTransferReporter interface {
+	ShardTransferStats() map[string]TransferStats
+}
+
+// ShardCounter reports across how many partitions a coordinator document
+// fans a full scan out — the cost model divides the scan's critical-path
+// round trips by it.
+type ShardCounter interface {
+	ShardCount() int
+}
+
+// ShardHealth collects the per-member availability of every registered
+// coordinator document, keyed by document id then member id.
+func (c *Catalog) ShardHealth() map[string]map[string]Health {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := map[string]map[string]Health{}
+	for id, d := range c.docs {
+		if shr, ok := d.(ShardHealthReporter); ok {
+			out[id] = shr.ShardHealth()
+		}
+	}
+	return out
+}
+
+// TransferStats collects the per-endpoint wire counters of every registered
+// document that has any: remote documents under their own id, coordinator
+// members flattened as "<doc>/<member>".
+func (c *Catalog) TransferStats() map[string]TransferStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := map[string]TransferStats{}
+	for id, d := range c.docs {
+		if tr, ok := d.(TransferReporter); ok {
+			out[id] = tr.TransferStats()
+		}
+		if str, ok := d.(ShardTransferReporter); ok {
+			for mid, ts := range str.ShardTransferStats() {
+				out[id+"/"+mid] = ts
+			}
+		}
+	}
+	return out
+}

@@ -329,6 +329,11 @@ func (c *Catalog) Health() map[string]Health {
 		if hr, ok := d.(HealthReporter); ok {
 			out[id] = hr.Health()
 		}
+		if shr, ok := d.(ShardHealthReporter); ok {
+			for mid, h := range shr.ShardHealth() {
+				out[id+"/"+mid] = h
+			}
+		}
 	}
 	return out
 }

@@ -56,6 +56,25 @@ func (d *RemoteDoc) Health() source.Health {
 	return h
 }
 
+// TransferStats implements source.TransferReporter: the endpoint client's
+// wire counters restated in source-layer terms, so fleet coordinators can
+// aggregate per-shard traffic without importing this package.
+func (d *RemoteDoc) TransferStats() source.TransferStats {
+	if d.root == nil {
+		return source.TransferStats{}
+	}
+	st := d.root.c.WireStats()
+	return source.TransferStats{
+		RoundTrips: st.RequestsSent,
+		BytesSent:  st.BytesSent,
+		BytesRecv:  st.BytesRecv,
+		Redials:    st.Redials,
+		Resumes:    st.Resumes,
+		Breaker:    d.root.c.BreakerSnapshot().State.String(),
+		BinaryWire: st.BinaryWire,
+	}
+}
+
 // Open implements source.Doc: a cursor over the remote root's children,
 // batched at the client's defaults.
 func (d *RemoteDoc) Open() (source.ElemCursor, error) { return d.OpenBatch(0, false) }

@@ -1,0 +1,237 @@
+package xmas
+
+import (
+	"strings"
+
+	"mix/internal/xtree"
+)
+
+// Scan-constraint analysis for shard routing.
+//
+// A sharded source can skip members whose partition cannot satisfy the
+// query — but only for constraints that provably apply to every tuple the
+// scan contributes to the answer. ScanConstraints extracts exactly those:
+// constant equalities (selections) that sit above the mkSrc with nothing
+// but constraint-transparent operators in between, restated against the
+// scanned child itself. Two shapes arise:
+//
+//   - $v = &oid on the mkSrc output variable — the decontextualized
+//     id-selection form (paper Section 5.2) — becomes a constraint on the
+//     child's object id (nil Path).
+//   - $t = const where $t derives from the mkSrc output through a chain of
+//     wildcard-free getD steps becomes a constraint on the composed label
+//     path from the child.
+//
+// The analysis is conservative: selections below grouping, construction or
+// apply boundaries are restated only against scans on their own side of the
+// boundary, and any derivation the getD composition rules cannot follow
+// (wildcards, non-chaining paths, rebound variables) is dropped. Dropping a
+// constraint only costs pruning opportunity, never correctness.
+
+// KeyEq is one extracted equality on a scanned top-level child: its object
+// id (nil Path) or the atomized value at a label path starting with the
+// child's own label.
+type KeyEq struct {
+	Path  []string
+	Value string
+}
+
+// ScanConstraints returns, for every document-backed mkSrc in the plan
+// (nested apply and view plans included), the constant equalities every
+// child it delivers must satisfy for the query to keep any tuple derived
+// from it. The map is keyed by operator node identity.
+func ScanConstraints(root Op) map[*MkSrc][]KeyEq {
+	w := &constWalker{
+		derived: map[Var]deriv{},
+		out:     map[*MkSrc][]KeyEq{},
+	}
+	w.collectDerived(root)
+	w.walk(root, nil)
+	return w.out
+}
+
+// deriv records that a variable's bindings are the elements at path below
+// (and including) the element bound to base. poisoned marks variables the
+// composition rules gave up on.
+type deriv struct {
+	base     Var
+	path     []string
+	poisoned bool
+}
+
+type constWalker struct {
+	derived map[Var]deriv
+	out     map[*MkSrc][]KeyEq
+}
+
+// collectDerived builds the global getD-derivation map bottom-up, composing
+// chained paths: getD($a, p1, $b) then getD($b, p2, $c) derives $c from $a
+// at p1 ++ p2[1:], valid when p2's first step restates p1's last (the
+// engine's paths include the source node's own label as step 0). Wildcards
+// and re-bound variables poison the variable.
+func (w *constWalker) collectDerived(op Op) {
+	if op == nil {
+		return
+	}
+	switch o := op.(type) {
+	case *MkSrc:
+		w.collectDerived(o.In)
+	case *GetD:
+		w.collectDerived(o.In)
+		w.record(o)
+	case *Select:
+		w.collectDerived(o.In)
+	case *Project:
+		w.collectDerived(o.In)
+	case *OrderBy:
+		w.collectDerived(o.In)
+	case *Join:
+		w.collectDerived(o.L)
+		w.collectDerived(o.R)
+	case *SemiJoin:
+		w.collectDerived(o.L)
+		w.collectDerived(o.R)
+	case *CrElt:
+		w.collectDerived(o.In)
+	case *Cat:
+		w.collectDerived(o.In)
+	case *GroupBy:
+		w.collectDerived(o.In)
+	case *Apply:
+		w.collectDerived(o.In)
+		w.collectDerived(o.Plan)
+	case *TD:
+		w.collectDerived(o.In)
+	}
+}
+
+func (w *constWalker) record(o *GetD) {
+	if _, rebound := w.derived[o.Out]; rebound {
+		w.derived[o.Out] = deriv{poisoned: true}
+		return
+	}
+	path := []string(o.Path)
+	if hasWildcard(path) || len(path) == 0 {
+		w.derived[o.Out] = deriv{poisoned: true}
+		return
+	}
+	base := o.From
+	if d, ok := w.derived[o.From]; ok {
+		if d.poisoned {
+			w.derived[o.Out] = deriv{poisoned: true}
+			return
+		}
+		composed, ok := composePaths(d.path, path)
+		if !ok {
+			w.derived[o.Out] = deriv{poisoned: true}
+			return
+		}
+		base, path = d.base, composed
+	}
+	w.derived[o.Out] = deriv{base: base, path: path}
+}
+
+// composePaths chains p1 (base → $mid) with p2 ($mid → out): p2 restates
+// $mid's own label as its first step, so the composition is p1 ++ p2[1:].
+func composePaths(p1, p2 []string) ([]string, bool) {
+	if len(p1) == 0 || len(p2) == 0 || p2[0] != p1[len(p1)-1] {
+		return nil, false
+	}
+	out := make([]string, 0, len(p1)+len(p2)-1)
+	out = append(out, p1...)
+	out = append(out, p2[1:]...)
+	return out, true
+}
+
+func hasWildcard(path []string) bool {
+	for _, s := range path {
+		if s == Wildcard {
+			return true
+		}
+	}
+	return false
+}
+
+// walk carries the constant equalities guaranteed to filter every tuple of
+// the current subtree's output down to the mkSrc leaves. Operators that
+// merely route, filter or reorder tuples pass conds through; operators that
+// regroup or construct reset them — a selection above a groupBy constrains
+// groups, not the scanned children.
+func (w *constWalker) walk(op Op, conds []Cond) {
+	if op == nil {
+		return
+	}
+	switch o := op.(type) {
+	case *MkSrc:
+		if o.In != nil {
+			w.walk(o.In, nil)
+			return
+		}
+		w.emit(o, conds)
+	case *GetD:
+		w.walk(o.In, conds)
+	case *Select:
+		w.walk(o.In, append(append([]Cond{}, conds...), o.Cond))
+	case *Project:
+		w.walk(o.In, conds)
+	case *OrderBy:
+		w.walk(o.In, conds)
+	case *Join:
+		// A condition above the join filters the joined tuple; restated
+		// against whichever side binds its variable it filters that side's
+		// scan too (tuples from pruned children cannot survive the
+		// selection above). Variables a side does not bind simply never
+		// match a scan there.
+		w.walk(o.L, conds)
+		w.walk(o.R, conds)
+	case *SemiJoin:
+		w.walk(o.L, conds)
+		w.walk(o.R, conds)
+	case *CrElt:
+		w.walk(o.In, nil)
+	case *Cat:
+		w.walk(o.In, nil)
+	case *GroupBy:
+		w.walk(o.In, nil)
+	case *Apply:
+		w.walk(o.In, nil)
+		w.walk(o.Plan, nil)
+	case *TD:
+		w.walk(o.In, conds)
+	}
+}
+
+// emit restates the applicable equalities against o's scanned children.
+func (w *constWalker) emit(o *MkSrc, conds []Cond) {
+	for _, c := range conds {
+		v, val, ok := constEq(c)
+		if !ok {
+			continue
+		}
+		if v == o.Out {
+			if strings.HasPrefix(val, "&") {
+				w.out[o] = append(w.out[o], KeyEq{Value: val})
+			}
+			continue
+		}
+		d, ok := w.derived[v]
+		if !ok || d.poisoned || d.base != o.Out {
+			continue
+		}
+		w.out[o] = append(w.out[o], KeyEq{Path: d.path, Value: val})
+	}
+}
+
+// constEq decomposes a condition of the form $v = const (either side).
+func constEq(c Cond) (Var, string, bool) {
+	if c.Op != xtree.OpEQ {
+		return "", "", false
+	}
+	switch {
+	case c.Left.IsConst && !c.Right.IsConst:
+		return c.Right.V, c.Left.Const, true
+	case !c.Left.IsConst && c.Right.IsConst:
+		return c.Left.V, c.Right.Const, true
+	}
+	return "", "", false
+}

@@ -652,10 +652,18 @@ type SessionStats struct {
 // HealthReport aggregates per-source availability with the session-serving
 // front end's counters — the one snapshot an operator (or a mediator
 // querying this mediator) needs to see whether the endpoint is degrading
-// gracefully: which sources are reachable, and how hard admission control
-// is working.
+// gracefully: which sources are reachable, how the shard fleet behind each
+// sharded view is doing, what the wire has carried, and how hard admission
+// control is working.
 type HealthReport struct {
-	Sources  map[string]source.Health
+	Sources map[string]source.Health
+	// Shards breaks sharded views down per member: view id → member id →
+	// that member's availability. Empty without sharded sources.
+	Shards map[string]map[string]source.Health
+	// Wire carries per-endpoint transfer counters (round trips, bytes,
+	// breaker state), coordinator members flattened as "<view>/<member>".
+	Wire     map[string]source.TransferStats
+	Caches   CacheStats
 	Sessions SessionStats
 }
 
@@ -680,9 +688,16 @@ func (m *Mediator) SessionStats() SessionStats {
 	return fn()
 }
 
-// HealthReport combines Health with the session counters.
+// HealthReport combines Health with the per-shard breakdowns, wire
+// transfer counters and session counters.
 func (m *Mediator) HealthReport() HealthReport {
-	return HealthReport{Sources: m.cat.Health(), Sessions: m.SessionStats()}
+	return HealthReport{
+		Sources:  m.cat.Health(),
+		Shards:   m.ShardHealth(),
+		Wire:     m.cat.TransferStats(),
+		Caches:   m.CacheStats(),
+		Sessions: m.SessionStats(),
+	}
 }
 
 // DataVersion is a monotonic counter covering everything that can change an

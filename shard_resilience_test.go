@@ -1,0 +1,138 @@
+package mix_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mix"
+	"mix/internal/faultnet"
+	"mix/internal/shard"
+	"mix/internal/source"
+	"mix/internal/wire"
+	"mix/internal/workload"
+)
+
+// buildShardFleet stands up a 3-shard wire fleet over the scale database
+// partitioned on customer id: three lower mediators each serve their slice
+// through a view, the upper mediator mounts them as one sharded source
+// "&fleet". Shard failShard's connection dies for good after closeAfter
+// bytes — a member mediator lost mid-query, with no redial. Returns the
+// upper mediator and the per-shard customer counts.
+func buildShardFleet(t *testing.T, cfg mix.Config, failShard int, closeAfter int64) (*mix.Mediator, []int) {
+	t.Helper()
+	spec := shard.Spec{Mode: shard.ModeHash, N: 3, KeyPath: []string{"customer", "id"}}
+	var members []shard.Member
+	counts := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		slice := workload.ShardScaleDB("db1", 120, 1, 42, spec, i)
+		rows, _ := slice.RowsSnapshot("customer")
+		counts[i] = len(rows)
+		lower := mix.New()
+		lower.AddRelationalSource(slice)
+		if _, err := lower.DefineView("custs",
+			"FOR $C IN document(&db1.customer)/customer RETURN $C"); err != nil {
+			t.Fatal(err)
+		}
+		server, client := net.Pipe()
+		srv := wire.NewServer(lower)
+		go func() {
+			defer server.Close()
+			_ = srv.ServeConn(server)
+		}()
+		var conn io.ReadWriteCloser = client
+		if i == failShard {
+			conn = faultnet.Wrap(client, faultnet.Config{CloseAfterBytes: closeAfter})
+		}
+		c := wire.NewClientConfig(conn, wire.ClientConfig{
+			OpTimeout:        2 * time.Second,
+			MaxRetries:       -1,
+			BreakerThreshold: -1,
+		})
+		t.Cleanup(func() { _ = c.Close() })
+		root, err := c.Open("custs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := fmt.Sprintf("shard%d", i)
+		members = append(members, shard.Member{ID: id, Doc: wire.NewRemoteDoc("&fleet/"+id, root)})
+	}
+	med := mix.NewWith(cfg)
+	if _, err := med.AddShardedSource("&fleet", spec, members, shard.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	return med, counts
+}
+
+// TestShardMemberLossMidQuery kills one shard of a wire fleet mid-query. In
+// the default fail-fast mode the query surfaces a typed
+// SourceUnavailableError naming the lost shard; under
+// Config.PartialResults the merged scan keeps the surviving shards'
+// children (plus whatever the dead shard delivered before the cut) and the
+// result carries exactly one SourceUnavailable annotation naming the shard.
+func TestShardMemberLossMidQuery(t *testing.T) {
+	const fail = 1
+	q := "FOR $C IN document(&fleet)/customer RETURN $C"
+
+	t.Run("fail-fast", func(t *testing.T) {
+		med, _ := buildShardFleet(t, mix.Config{}, fail, 1500)
+		doc, err := med.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := doc.Materialize()
+		var sue *source.SourceUnavailableError
+		if err := doc.Err(); !errors.As(err, &sue) {
+			t.Fatalf("want SourceUnavailableError, got %v", err)
+		}
+		if sue.Source != "&fleet[shard1]" {
+			t.Fatalf("error names %q, want &fleet[shard1]", sue.Source)
+		}
+		for _, kid := range m.Children {
+			if kid.Label == "SourceUnavailable" {
+				t.Fatal("fail-fast mode must not annotate")
+			}
+		}
+	})
+
+	t.Run("partial", func(t *testing.T) {
+		med, counts := buildShardFleet(t, mix.Config{PartialResults: true}, fail, 1500)
+		doc, err := med.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := doc.Materialize()
+		if err := doc.Err(); err != nil {
+			t.Fatalf("partial mode must not fail the query: %v", err)
+		}
+		real, ann, note := 0, 0, ""
+		for _, kid := range m.Children {
+			if kid.Label == "SourceUnavailable" {
+				ann++
+				if len(kid.Children) == 1 {
+					note = kid.Children[0].Label
+				}
+			} else {
+				real++
+			}
+		}
+		if ann != 1 {
+			t.Fatalf("want exactly one SourceUnavailable annotation, got %d", ann)
+		}
+		if !strings.Contains(note, "&fleet[shard1]") {
+			t.Fatalf("annotation %q must name the lost shard", note)
+		}
+		survivors := counts[0] + counts[2]
+		total := survivors + counts[fail]
+		if real < survivors {
+			t.Fatalf("partial result lost surviving shards' children: %d < %d", real, survivors)
+		}
+		if real >= total {
+			t.Fatalf("dead shard's scan of %d children cannot have completed (got %d total)", counts[fail], real)
+		}
+	})
+}

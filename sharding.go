@@ -1,0 +1,39 @@
+package mix
+
+import (
+	"mix/internal/shard"
+	"mix/internal/source"
+)
+
+// AddShardedSource registers a sharded virtual view: a document whose
+// top-level children are partitioned across the member documents by spec
+// (member i serves shard i). Queries over id see one logical document; the
+// shard coordinator fans scans out across the members concurrently (under
+// Parallelism > 1), merges the streams back in document order when the
+// plan can observe order, and routes decontextualized point queries only
+// to the member whose partition can match.
+//
+// Members are typically wire.RemoteDocs over lower mixserve shards; any
+// source.Doc works (tests use local partitions). The returned coordinator
+// exposes routing Stats for observability.
+func (m *Mediator) AddShardedSource(id string, spec shard.Spec, members []shard.Member, cfg shard.Config) (*shard.Doc, error) {
+	d, err := shard.NewDoc(id, spec, members, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.cat.AddDoc(id, d)
+	return d, nil
+}
+
+// ShardHealth reports per-member availability of every sharded view
+// registered with this mediator: view id → member id → health.
+func (m *Mediator) ShardHealth() map[string]map[string]source.Health {
+	return m.cat.ShardHealth()
+}
+
+// WireStats reports per-endpoint transfer counters for every remote-backed
+// source this mediator holds, sharded-view members flattened as
+// "<view>/<member>".
+func (m *Mediator) WireStats() map[string]source.TransferStats {
+	return m.cat.TransferStats()
+}
